@@ -1,0 +1,138 @@
+// Command mapbench regenerates the paper's evaluation: Tables 1–3 with
+// their Figs. 25–27 histograms, the §2.2 counterexample figures, the §4
+// running example, and the ablation experiments listed in DESIGN.md.
+//
+// Usage:
+//
+//	mapbench                     # everything
+//	mapbench -table 1            # only Table 1 / Fig. 25
+//	mapbench -fig cardinality    # only the cardinality counterexample
+//	mapbench -fig commcost       # only the comm-cost counterexample
+//	mapbench -fig running        # only the running example
+//	mapbench -ablation           # only the ablations
+//	mapbench -seed 7 -trials 25  # change master seed / random trials
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mimdmap/internal/experiment"
+)
+
+func main() {
+	var (
+		table      = flag.Int("table", 0, "regenerate only this table (1, 2 or 3); 0 = all")
+		fig        = flag.String("fig", "", "regenerate only this worked figure: cardinality, commcost or running")
+		ablation   = flag.Bool("ablation", false, "run only the ablation experiments")
+		extension  = flag.Bool("extension", false, "run only the extension experiments (exact optimum, clusterers, heterogeneous links)")
+		sweep      = flag.Bool("sweep", false, "run only the workload calibration sweep")
+		seed       = flag.Int64("seed", 0, "master seed (0 = paper default 1991)")
+		trials     = flag.Int("trials", 0, "random mappings averaged per instance (0 = 10)")
+		edgeFactor = flag.Float64("edgefactor", 0, "DAG density: edge probability = edgefactor/np (0 = default)")
+		taskSize   = flag.Int("tasksize", 0, "maximum task size (0 = default)")
+		edgeWeight = flag.Int("edgeweight", 0, "maximum communication weight (0 = default)")
+	)
+	flag.Parse()
+	cfg := experiment.Config{
+		MasterSeed:    *seed,
+		RandomTrials:  *trials,
+		EdgeFactor:    *edgeFactor,
+		TaskSizeMax:   *taskSize,
+		EdgeWeightMax: *edgeWeight,
+	}
+
+	if err := run(cfg, *table, *fig, *ablation, *extension, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "mapbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiment.Config, table int, fig string, ablation, extension, sweep bool) error {
+	all := table == 0 && fig == "" && !ablation && !extension && !sweep
+
+	tables := []struct {
+		id  int
+		run func(experiment.Config) (*experiment.TableResult, error)
+	}{
+		{1, experiment.Table1},
+		{2, experiment.Table2},
+		{3, experiment.Table3},
+	}
+	for _, t := range tables {
+		if !all && table != t.id {
+			continue
+		}
+		res, err := t.run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		fmt.Println(res.Histogram())
+		lo, hi := res.ImprovementRange()
+		fmt.Printf("improvement range: %.0f–%.0f points over random mapping\n\n", lo, hi)
+	}
+
+	figs := []struct {
+		key string
+		run func() (string, error)
+	}{
+		{"cardinality", experiment.CardinalityReport},
+		{"commcost", experiment.CommCostReport},
+		{"running", experiment.RunningReport},
+	}
+	for _, f := range figs {
+		if !all && fig != f.key {
+			continue
+		}
+		report, err := f.run()
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+
+	if all || ablation {
+		report, err := experiment.AblationReport(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+
+	if all || extension {
+		report, err := experiment.ExactGapReport(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+		report, err = experiment.CompareClusterersReport(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+		report, err = experiment.HeteroLinksReport(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+
+	if all || extension {
+		report, err := experiment.CompareTopologiesReport(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+
+	if all || sweep {
+		report, err := experiment.SweepReport(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Command mapgen emits problem graphs, system graphs, and clusterings in
+// the repository's text format, for piping into cmd/mapper.
+//
+// Usage:
+//
+//	mapgen -problem random -tasks 60 -edgeprob 0.07 -seed 3 > prob.txt
+//	mapgen -problem butterfly -logn 4                       > prob.txt
+//	mapgen -system mesh-4x4                                 > sys.txt
+//	mapgen -cluster random -k 16 -in prob.txt               > clus.txt
+//
+// Problem kinds: random, layered, pipeline, forkjoin, butterfly, gauss,
+// wavefront, divideconquer. Cluster kinds: random, round-robin, blocks,
+// load-balance, edge-zeroing, dominant-sequence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mimdmap"
+)
+
+func main() {
+	var (
+		problem  = flag.String("problem", "", "emit a problem graph of this kind")
+		system   = flag.String("system", "", "emit a system graph (e.g. hypercube-4, mesh-3x5, random-12)")
+		clusterK = flag.Int("k", 0, "with -cluster: number of clusters")
+		clusters = flag.String("cluster", "", "emit a clustering of -in using this strategy")
+		in       = flag.String("in", "", "input problem file for -cluster (default stdin)")
+		seed     = flag.Int64("seed", 1, "random seed")
+
+		tasks    = flag.Int("tasks", 60, "random/layered: number of tasks")
+		edgeProb = flag.Float64("edgeprob", 0.07, "random: forward-pair edge probability")
+		layers   = flag.Int("layers", 6, "layered: number of layers")
+		width    = flag.Int("width", 8, "layered: tasks per layer")
+		stages   = flag.Int("stages", 8, "pipeline/forkjoin: stages")
+		fanout   = flag.Int("fanout", 4, "forkjoin: parallel width")
+		logn     = flag.Int("logn", 4, "butterfly: log2 of the point count")
+		n        = flag.Int("n", 8, "gauss: matrix size; wavefront: grid side; divideconquer: depth")
+		taskSize = flag.Int("tasksize", 2, "structured workloads: task size")
+		commW    = flag.Int("commweight", 1, "structured workloads: communication weight")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch {
+	case *problem != "":
+		p, err := buildProblem(*problem, rng, genParams{
+			tasks: *tasks, edgeProb: *edgeProb, layers: *layers, width: *width,
+			stages: *stages, fanout: *fanout, logn: *logn, n: *n,
+			taskSize: *taskSize, commW: *commW,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if err := mimdmap.WriteProblem(os.Stdout, p); err != nil {
+			fail(err)
+		}
+	case *system != "":
+		s, err := mimdmap.TopologyByName(*system, rng)
+		if err != nil {
+			fail(err)
+		}
+		if err := mimdmap.WriteSystem(os.Stdout, s); err != nil {
+			fail(err)
+		}
+	case *clusters != "":
+		p, err := readProblem(*in)
+		if err != nil {
+			fail(err)
+		}
+		if *clusterK <= 0 {
+			fail(fmt.Errorf("-cluster needs -k > 0"))
+		}
+		cl, err := clustererByName(*clusters, rng)
+		if err != nil {
+			fail(err)
+		}
+		c, err := cl.Cluster(p, *clusterK)
+		if err != nil {
+			fail(err)
+		}
+		if err := mimdmap.WriteClustering(os.Stdout, c); err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "mapgen: one of -problem, -system or -cluster is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type genParams struct {
+	tasks, layers, width, stages, fanout, logn, n, taskSize, commW int
+	edgeProb                                                       float64
+}
+
+func buildProblem(kind string, rng *rand.Rand, p genParams) (*mimdmap.Problem, error) {
+	switch kind {
+	case "random":
+		return mimdmap.RandomProblem(mimdmap.RandomProblemConfig{
+			Tasks: p.tasks, EdgeProb: p.edgeProb, Connected: true,
+		}, rng)
+	case "layered":
+		return mimdmap.LayeredProblem(mimdmap.LayeredProblemConfig{
+			Layers: p.layers, Width: p.width, EdgeProb: p.edgeProb,
+		}, rng)
+	case "pipeline":
+		return mimdmap.Pipeline(p.stages, p.taskSize, p.commW)
+	case "forkjoin":
+		return mimdmap.ForkJoin(p.stages, p.fanout, p.taskSize, p.commW)
+	case "butterfly":
+		return mimdmap.Butterfly(p.logn, p.taskSize, p.commW)
+	case "gauss":
+		return mimdmap.GaussianElimination(p.n, p.taskSize, p.taskSize, p.commW)
+	case "wavefront":
+		return mimdmap.Wavefront(p.n, p.n, p.taskSize, p.commW)
+	case "divideconquer":
+		return mimdmap.DivideConquer(p.n, p.taskSize, p.commW)
+	default:
+		return nil, fmt.Errorf("mapgen: unknown problem kind %q", kind)
+	}
+}
+
+func clustererByName(name string, rng *rand.Rand) (mimdmap.Clusterer, error) {
+	switch name {
+	case "random":
+		return mimdmap.RandomClusterer(rng), nil
+	case "round-robin":
+		return mimdmap.RoundRobinClusterer, nil
+	case "blocks":
+		return mimdmap.BlocksClusterer, nil
+	case "load-balance":
+		return mimdmap.LoadBalanceClusterer, nil
+	case "edge-zeroing":
+		return mimdmap.EdgeZeroingClusterer, nil
+	case "dominant-sequence":
+		return mimdmap.DominantSequenceClusterer, nil
+	default:
+		return nil, fmt.Errorf("mapgen: unknown clusterer %q", name)
+	}
+}
+
+func readProblem(path string) (*mimdmap.Problem, error) {
+	if path == "" {
+		return mimdmap.ReadProblem(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mimdmap.ReadProblem(f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mapgen:", err)
+	os.Exit(1)
+}

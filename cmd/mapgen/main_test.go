@@ -1,0 +1,49 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuildProblemKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	params := genParams{
+		tasks: 20, edgeProb: 0.2, layers: 3, width: 4,
+		stages: 3, fanout: 2, logn: 2, n: 4, taskSize: 2, commW: 1,
+	}
+	kinds := []string{
+		"random", "layered", "pipeline", "forkjoin",
+		"butterfly", "gauss", "wavefront", "divideconquer",
+	}
+	for _, kind := range kinds {
+		p, err := buildProblem(kind, rng, params)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if p.NumTasks() == 0 {
+			t.Fatalf("%s: empty problem", kind)
+		}
+	}
+	if _, err := buildProblem("nonsense", rng, params); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestClustererByName(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range []string{"random", "round-robin", "blocks", "load-balance", "edge-zeroing", "dominant-sequence"} {
+		cl, err := clustererByName(name, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cl.Name() != name {
+			t.Fatalf("clusterer %q reports name %q", name, cl.Name())
+		}
+	}
+	if _, err := clustererByName("nope", rng); err == nil {
+		t.Fatal("unknown clusterer accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Command mapper maps a clustered problem graph onto a system graph with
+// the paper's strategy and prints the mapping, its schedule, and the
+// comparison against the lower bound and random placement.
+//
+// Usage:
+//
+//	mapper -prob prob.txt -sys sys.txt -clus clus.txt
+//	mapper -prob prob.txt -topology mesh-4x4 -clusterer random
+//	mapper -prob prob.txt -topology ring-8 -clusterer edge-zeroing -gantt
+//
+// Either -clus (a clustering file) or -clusterer (a strategy applied on the
+// fly) must be given; the cluster count always equals the machine size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"mimdmap"
+)
+
+func main() {
+	var (
+		probPath  = flag.String("prob", "", "problem graph file (required)")
+		sysPath   = flag.String("sys", "", "system graph file")
+		topoSpec  = flag.String("topology", "", "alternatively, a topology spec like mesh-4x4")
+		clusPath  = flag.String("clus", "", "clustering file")
+		clusterer = flag.String("clusterer", "", "or cluster on the fly: random, round-robin, blocks, load-balance, edge-zeroing, dominant-sequence")
+		seed      = flag.Int64("seed", 1, "random seed for clustering/refinement")
+		refines   = flag.Int("refinements", 0, "refinement budget (0 = paper default of ns)")
+		full      = flag.Bool("full-propagation", false, "use full critical-edge propagation")
+		gantt     = flag.Bool("gantt", false, "print the execution chart")
+		trials    = flag.Int("random-trials", 10, "random mappings to average for comparison")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	if *probPath == "" {
+		fail(fmt.Errorf("-prob is required"))
+	}
+	prob, err := readFile(*probPath, mimdmap.ReadProblem)
+	if err != nil {
+		fail(err)
+	}
+
+	var sys *mimdmap.System
+	switch {
+	case *sysPath != "":
+		sys, err = readFile(*sysPath, mimdmap.ReadSystem)
+	case *topoSpec != "":
+		sys, err = mimdmap.TopologyByName(*topoSpec, rng)
+	default:
+		err = fmt.Errorf("one of -sys or -topology is required")
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	var clus *mimdmap.Clustering
+	switch {
+	case *clusPath != "":
+		clus, err = readFile(*clusPath, mimdmap.ReadClustering)
+	case *clusterer != "":
+		var cl mimdmap.Clusterer
+		switch *clusterer {
+		case "random":
+			cl = mimdmap.RandomClusterer(rng)
+		case "round-robin":
+			cl = mimdmap.RoundRobinClusterer
+		case "blocks":
+			cl = mimdmap.BlocksClusterer
+		case "load-balance":
+			cl = mimdmap.LoadBalanceClusterer
+		case "edge-zeroing":
+			cl = mimdmap.EdgeZeroingClusterer
+		case "dominant-sequence":
+			cl = mimdmap.DominantSequenceClusterer
+		default:
+			fail(fmt.Errorf("unknown clusterer %q", *clusterer))
+		}
+		clus, err = cl.Cluster(prob, sys.NumNodes())
+	default:
+		err = fmt.Errorf("one of -clus or -clusterer is required")
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	opts := &mimdmap.Options{MaxRefinements: *refines, Rand: rng}
+	if *full {
+		opts.Propagation = mimdmap.FullPropagation
+	}
+	res, err := mimdmap.Map(prob, clus, sys, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("problem: %d tasks, %d edges; machine: %s (%d nodes)\n",
+		prob.NumTasks(), prob.NumEdges(), sys.Name, sys.NumNodes())
+	fmt.Printf("lower bound:        %d\n", res.LowerBound)
+	fmt.Printf("initial assignment: %d\n", res.InitialTotalTime)
+	fmt.Printf("final total time:   %d (%.1f%% of bound) after %d refinements\n",
+		res.TotalTime, 100*float64(res.TotalTime)/float64(res.LowerBound), res.Refinements)
+	fmt.Printf("optimal proven:     %v\n", res.OptimalProven)
+	fmt.Printf("mapping (cluster → processor): %v\n", res.Assignment.ProcOf)
+
+	eval, err := mimdmap.NewEvaluator(prob, clus, sys)
+	if err != nil {
+		fail(err)
+	}
+	if *trials > 0 {
+		mean, _, best := mimdmap.RandomMapping(eval, *trials, rng)
+		fmt.Printf("random mapping (%d trials): mean %.0f (%.1f%%), best %d\n",
+			*trials, mean, 100*mean/float64(res.LowerBound), best)
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Println(mimdmap.RenderGantt(eval.Evaluate(res.Assignment), clus, res.Assignment, sys.NumNodes()))
+	}
+}
+
+func readFile[T any](path string, read func(r io.Reader) (T, error)) (T, error) {
+	var zero T
+	f, err := os.Open(path)
+	if err != nil {
+		return zero, err
+	}
+	defer f.Close()
+	return read(f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mapper:", err)
+	os.Exit(1)
+}

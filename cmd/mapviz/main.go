@@ -1,0 +1,174 @@
+// Command mapviz renders mapping artefacts as text: the execution chart of
+// a mapped program (Gantt, like the paper's Figs. 6, 10, 12 and 24), the
+// ideal-graph timeline, or topology statistics of a machine.
+//
+// Usage:
+//
+//	mapviz -prob prob.txt -clus clus.txt -topology mesh-4x4       # map + chart
+//	mapviz -prob prob.txt -clus clus.txt -ideal                   # ideal chart
+//	mapviz -topology hypercube-4 -stats                           # machine stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"mimdmap"
+)
+
+func main() {
+	var (
+		probPath = flag.String("prob", "", "problem graph file")
+		clusPath = flag.String("clus", "", "clustering file")
+		sysPath  = flag.String("sys", "", "system graph file")
+		topoSpec = flag.String("topology", "", "topology spec like mesh-4x4")
+		idealFig = flag.Bool("ideal", false, "render the ideal-graph timeline instead of a mapping")
+		stats    = flag.Bool("stats", false, "print machine statistics only")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of text charts")
+		trace    = flag.Bool("trace", false, "also print the message trace of the mapping")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	var sys *mimdmap.System
+	var err error
+	switch {
+	case *sysPath != "":
+		sys, err = readFile(*sysPath, mimdmap.ReadSystem)
+	case *topoSpec != "":
+		sys, err = mimdmap.TopologyByName(*topoSpec, rng)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *stats {
+		if sys == nil {
+			fail(fmt.Errorf("-stats needs -sys or -topology"))
+		}
+		printStats(sys)
+		return
+	}
+
+	if *dot && *probPath == "" {
+		if sys == nil {
+			fail(fmt.Errorf("-dot needs -prob and/or -sys/-topology"))
+		}
+		if err := mimdmap.WriteSystemDOT(os.Stdout, sys); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *probPath == "" || *clusPath == "" {
+		fail(fmt.Errorf("-prob and -clus are required (or use -stats)"))
+	}
+	prob, err := readFile(*probPath, mimdmap.ReadProblem)
+	if err != nil {
+		fail(err)
+	}
+	clus, err := readFile(*clusPath, mimdmap.ReadClustering)
+	if err != nil {
+		fail(err)
+	}
+
+	if *dot {
+		if err := mimdmap.WriteProblemDOT(os.Stdout, prob, clus); err != nil {
+			fail(err)
+		}
+		if sys != nil {
+			if err := mimdmap.WriteSystemDOT(os.Stdout, sys); err != nil {
+				fail(err)
+			}
+		}
+		return
+	}
+
+	if *idealFig {
+		ig, err := mimdmap.DeriveIdeal(prob, clus)
+		if err != nil {
+			fail(err)
+		}
+		// Render the ideal timeline with cluster columns (Fig. 6 style).
+		identity := mimdmap.IdentityClustering(clus.K)
+		sched := &mimdmap.Schedule{Start: ig.Start, End: ig.End, TotalTime: ig.LowerBound}
+		fmt.Printf("ideal graph timeline (lower bound %d):\n", ig.LowerBound)
+		fmt.Println(mimdmap.RenderGantt(sched, clus, identityAssignment(identity.K), clus.K))
+		return
+	}
+
+	if sys == nil {
+		fail(fmt.Errorf("-sys or -topology is required for mapping"))
+	}
+	res, err := mimdmap.Map(prob, clus, sys, &mimdmap.Options{Rand: rng})
+	if err != nil {
+		fail(err)
+	}
+	eval, err := mimdmap.NewEvaluator(prob, clus, sys)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("mapping %v — total time %d (bound %d, optimal proven %v)\n\n",
+		res.Assignment.ProcOf, res.TotalTime, res.LowerBound, res.OptimalProven)
+	sched := eval.Evaluate(res.Assignment)
+	fmt.Println(mimdmap.RenderGantt(sched, clus, res.Assignment, sys.NumNodes()))
+	if *trace {
+		msgs := eval.Trace(res.Assignment, sched)
+		st := mimdmap.TraceMessageStats(msgs)
+		fmt.Printf("message trace (%d messages, volume %d, peak in flight %d):\n",
+			st.Messages, st.Volume, st.PeakInFlight)
+		for _, m := range msgs {
+			fmt.Printf("  t%-3d→ t%-3d w=%-3d P%d→P%d dist %d  departs %d arrives %d\n",
+				m.Src, m.Dst, m.Weight, m.FromProc, m.ToProc, m.Distance, m.Departure, m.Arrival)
+		}
+	}
+}
+
+func identityAssignment(k int) *mimdmap.Assignment {
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	return mimdmap.FromPerm(perm)
+}
+
+func printStats(sys *mimdmap.System) {
+	d := mimdmap.Distances(sys)
+	degrees := sys.Degrees()
+	minDeg, maxDeg := degrees[0], degrees[0]
+	for _, deg := range degrees {
+		if deg < minDeg {
+			minDeg = deg
+		}
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	fmt.Printf("machine:   %s\n", sys.Name)
+	fmt.Printf("nodes:     %d\n", sys.NumNodes())
+	fmt.Printf("links:     %d\n", sys.NumLinks())
+	fmt.Printf("degree:    min %d, max %d\n", minDeg, maxDeg)
+	fmt.Printf("diameter:  %d\n", d.Diameter())
+	if sys.NumNodes() > 1 {
+		fmt.Printf("mean dist: %.2f\n", d.MeanDistance())
+	}
+}
+
+func readFile[T any](path string, read func(r io.Reader) (T, error)) (T, error) {
+	var zero T
+	f, err := os.Open(path)
+	if err != nil {
+		return zero, err
+	}
+	defer f.Close()
+	return read(f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mapviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,204 @@
+package mimdmap_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mimdmap"
+)
+
+// The godoc examples double as executable documentation: `go test` verifies
+// every Output comment.
+
+func ExampleMap() {
+	// A diamond program on a four-processor ring.
+	prob := mimdmap.NewProblem(4)
+	prob.Size = []int{2, 1, 1, 2}
+	prob.SetEdge(0, 1, 3)
+	prob.SetEdge(0, 2, 1)
+	prob.SetEdge(1, 3, 2)
+	prob.SetEdge(2, 3, 4)
+
+	res, err := mimdmap.Map(prob, mimdmap.IdentityClustering(4), mimdmap.Ring(4), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("total:", res.TotalTime)
+	fmt.Println("bound:", res.LowerBound)
+	fmt.Println("optimal proven:", res.OptimalProven)
+	// Output:
+	// total: 10
+	// bound: 10
+	// optimal proven: true
+}
+
+func ExampleDeriveIdeal() {
+	// Two chained tasks in different clusters: the ideal graph charges the
+	// edge weight once (closure distance 1).
+	prob := mimdmap.NewProblem(2)
+	prob.Size = []int{3, 2}
+	prob.SetEdge(0, 1, 4)
+
+	ig, err := mimdmap.DeriveIdeal(prob, mimdmap.IdentityClustering(2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("start of task 1:", ig.Start[1])
+	fmt.Println("lower bound:", ig.LowerBound)
+	// Output:
+	// start of task 1: 7
+	// lower bound: 9
+}
+
+func ExampleAnalyzeCritical() {
+	// A chain is entirely tight: every inter-cluster edge is critical.
+	prob := mimdmap.NewProblem(3)
+	prob.Size = []int{1, 1, 1}
+	prob.SetEdge(0, 1, 5)
+	prob.SetEdge(1, 2, 2)
+	c := mimdmap.IdentityClustering(3)
+
+	ig, err := mimdmap.DeriveIdeal(prob, c)
+	if err != nil {
+		panic(err)
+	}
+	crit := mimdmap.AnalyzeCritical(prob, c, ig, mimdmap.PaperPropagation)
+	fmt.Println("critical edges:", crit.NumCriticalProbEdges())
+	fmt.Println("critical degree of cluster 1:", crit.Degree[1])
+	// Output:
+	// critical edges: 2
+	// critical degree of cluster 1: 7
+}
+
+func ExampleEvaluator_Evaluate() {
+	prob := mimdmap.NewProblem(2)
+	prob.Size = []int{1, 1}
+	prob.SetEdge(0, 1, 3)
+	c := mimdmap.IdentityClustering(2)
+
+	e, err := mimdmap.NewEvaluator(prob, c, mimdmap.Chain(2))
+	if err != nil {
+		panic(err)
+	}
+	sched := e.Evaluate(mimdmap.FromPerm([]int{0, 1}))
+	fmt.Println("task 1 starts at:", sched.Start[1])
+	fmt.Println("total:", sched.TotalTime)
+	// Output:
+	// task 1 starts at: 4
+	// total: 5
+}
+
+func ExampleRandomMapping() {
+	prob, err := mimdmap.Wavefront(4, 4, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	sys := mimdmap.Mesh(2, 2)
+	clus, err := mimdmap.BlocksClusterer.Cluster(prob, sys.NumNodes())
+	if err != nil {
+		panic(err)
+	}
+	e, err := mimdmap.NewEvaluator(prob, clus, sys)
+	if err != nil {
+		panic(err)
+	}
+	mean, _, best := mimdmap.RandomMapping(e, 50, rand.New(rand.NewSource(1)))
+	fmt.Println("best random no better than mean:", float64(best) <= mean)
+	// Output:
+	// best random no better than mean: true
+}
+
+func ExampleSolveExact() {
+	// Brute-force ground truth on a small machine.
+	prob := mimdmap.NewProblem(3)
+	prob.Size = []int{1, 1, 1}
+	prob.SetEdge(0, 1, 2)
+	prob.SetEdge(0, 2, 2)
+	c := mimdmap.IdentityClustering(3)
+	e, err := mimdmap.NewEvaluator(prob, c, mimdmap.Chain(3))
+	if err != nil {
+		panic(err)
+	}
+	res := mimdmap.SolveExact(e, 0, mimdmap.ExactOptions{})
+	fmt.Println("proven optimal:", res.Proven)
+	fmt.Println("total:", res.TotalTime)
+	// Output:
+	// proven optimal: true
+	// total: 4
+}
+
+func ExampleTopologyByName() {
+	sys, err := mimdmap.TopologyByName("mesh-3x4", nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sys.Name, sys.NumNodes(), "nodes,", sys.NumLinks(), "links")
+	// Output:
+	// mesh-3x4 12 nodes, 17 links
+}
+
+func ExampleBokhari() {
+	prob := mimdmap.NewProblem(4)
+	prob.Size = []int{1, 1, 1, 1}
+	prob.SetEdge(0, 1, 1)
+	prob.SetEdge(1, 2, 1)
+	prob.SetEdge(2, 3, 1)
+	prob.SetEdge(0, 3, 1)
+	prob.SetEdge(0, 2, 4)
+	e, err := mimdmap.NewEvaluator(prob, mimdmap.IdentityClustering(4), mimdmap.Ring(4))
+	if err != nil {
+		panic(err)
+	}
+	_, card := mimdmap.Bokhari(e, mimdmap.BokhariOptions{}, rand.New(rand.NewSource(7)))
+	fmt.Println("cardinality found:", card)
+	// Output:
+	// cardinality found: 4
+}
+
+func ExampleLU() {
+	prob, err := mimdmap.LU(3, 2, 3, 4, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tasks:", prob.NumTasks())
+	fmt.Println("critical path:", prob.CriticalPathLength())
+	// Output:
+	// tasks: 14
+	// critical path: 26
+}
+
+func ExampleRenderGantt() {
+	prob := mimdmap.NewProblem(2)
+	prob.Size = []int{2, 1}
+	prob.SetEdge(0, 1, 1)
+	c := mimdmap.IdentityClustering(2)
+	e, err := mimdmap.NewEvaluator(prob, c, mimdmap.Chain(2))
+	if err != nil {
+		panic(err)
+	}
+	a := mimdmap.FromPerm([]int{0, 1})
+	fmt.Print(mimdmap.RenderGantt(e.Evaluate(a), c, a, 2))
+	// Output:
+	// time |  P0  P1
+	// -----+--------
+	//    0 |   0   .
+	//    1 |   0   .
+	//    2 |   .   .
+	//    3 |   .   1
+	// total time = 4
+}
+
+func ExampleLongestCriticalChain() {
+	prob := mimdmap.NewProblem(3)
+	prob.Size = []int{1, 2, 1}
+	prob.SetEdge(0, 1, 3)
+	prob.SetEdge(1, 2, 1)
+	c := mimdmap.IdentityClustering(3)
+	ig, err := mimdmap.DeriveIdeal(prob, c)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(mimdmap.LongestCriticalChain(prob, ig))
+	// Output:
+	// [0 1 2]
+}

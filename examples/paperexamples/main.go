@@ -1,0 +1,173 @@
+// Paperexamples: the worked examples of the paper, §2.2 and §4, built
+// entirely through the public API.
+//
+//  1. The cardinality counterexample (Figs. 7–12): the maximum-cardinality
+//     placement is forced to stretch the one heavy, time-critical edge and
+//     loses to a lower-cardinality placement on total time.
+//  2. The communication-cost counterexample (Figs. 13–17): the minimum
+//     phased-communication-cost placement stretches a tight edge and loses
+//     to the time optimum.
+//  3. The running example (Figs. 2–6, 24): an 11-task program whose guided
+//     initial assignment meets the lower bound, so the termination
+//     condition stops the search with zero refinement steps.
+//
+// Run with:
+//
+//	go run ./examples/paperexamples
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mimdmap"
+)
+
+func main() {
+	cardinalityExample()
+	commCostExample()
+	runningExample()
+}
+
+// forEachPerm enumerates permutations of [0,n) — with n = 4 that is only 24
+// assignments, so the counterexamples are verified exhaustively.
+func forEachPerm(n int, fn func([]int)) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			fn(perm)
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+}
+
+func cardinalityExample() {
+	fmt.Println("=== Cardinality counterexample (paper Figs. 7-12) ===")
+	prob := mimdmap.NewProblem(4)
+	prob.Size = []int{1, 1, 1, 1}
+	prob.SetEdge(0, 1, 1)
+	prob.SetEdge(1, 2, 1)
+	prob.SetEdge(2, 3, 1)
+	prob.SetEdge(0, 3, 1)
+	prob.SetEdge(0, 2, 4) // the heavy, time-critical chord
+	clus := mimdmap.IdentityClustering(4)
+	sys := mimdmap.Ring(4)
+	eval, err := mimdmap.NewEvaluator(prob, clus, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ig, err := mimdmap.DeriveIdeal(prob, clus)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	maxCard, timeAtMaxCard, bestTime, bestCard := -1, math.MaxInt, math.MaxInt, 0
+	forEachPerm(4, func(perm []int) {
+		a := mimdmap.FromPerm(perm)
+		card, total := eval.Cardinality(a), eval.TotalTime(a)
+		if card > maxCard {
+			maxCard, timeAtMaxCard = card, math.MaxInt
+		}
+		if card == maxCard && total < timeAtMaxCard {
+			timeAtMaxCard = total
+		}
+		if total < bestTime {
+			bestTime, bestCard = total, card
+		}
+	})
+	fmt.Printf("lower bound %d\n", ig.LowerBound)
+	fmt.Printf("A1: maximum cardinality %d → best total time %d\n", maxCard, timeAtMaxCard)
+	fmt.Printf("A2: time optimum %d at cardinality %d\n", bestTime, bestCard)
+	fmt.Printf("=> cardinality-optimal is %d units slower than time-optimal\n\n",
+		timeAtMaxCard-bestTime)
+}
+
+func commCostExample() {
+	fmt.Println("=== Communication-cost counterexample (paper Figs. 13-17) ===")
+	prob := mimdmap.NewProblem(4)
+	prob.Size = []int{1, 1, 4, 1}
+	prob.SetEdge(0, 1, 4)
+	prob.SetEdge(0, 2, 1) // tight: feeds the slow task 2
+	prob.SetEdge(0, 3, 4)
+	prob.SetEdge(1, 3, 1)
+	prob.SetEdge(2, 3, 4)
+	clus := mimdmap.IdentityClustering(4)
+	sys := mimdmap.Ring(4)
+	eval, err := mimdmap.NewEvaluator(prob, clus, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ig, err := mimdmap.DeriveIdeal(prob, clus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phases := mimdmap.CommPhases(eval)
+
+	minCost, timeAtMinCost, bestTime, bestCost := math.MaxInt, math.MaxInt, math.MaxInt, 0
+	forEachPerm(4, func(perm []int) {
+		a := mimdmap.FromPerm(perm)
+		cost, total := mimdmap.CommCost(eval, phases, a), eval.TotalTime(a)
+		if cost < minCost {
+			minCost, timeAtMinCost = cost, math.MaxInt
+		}
+		if cost == minCost && total < timeAtMinCost {
+			timeAtMinCost = total
+		}
+		if total < bestTime {
+			bestTime, bestCost = total, cost
+		}
+	})
+	fmt.Printf("lower bound %d, %d communication phases\n", ig.LowerBound, len(phases))
+	fmt.Printf("A3: minimum comm cost %d → best total time %d\n", minCost, timeAtMinCost)
+	fmt.Printf("A4: time optimum %d at comm cost %d\n", bestTime, bestCost)
+	fmt.Printf("=> comm-cost-optimal is %d units slower than time-optimal\n\n",
+		timeAtMinCost-bestTime)
+}
+
+func runningExample() {
+	fmt.Println("=== Running example (paper Figs. 2-6 and 24) ===")
+	prob := mimdmap.NewProblem(11)
+	prob.Size = []int{2, 1, 1, 1, 2, 1, 2, 1, 1, 2, 2}
+	// Intra-cluster chains.
+	prob.SetEdge(0, 1, 1)
+	prob.SetEdge(1, 2, 1)
+	prob.SetEdge(3, 4, 1)
+	prob.SetEdge(4, 5, 1)
+	prob.SetEdge(6, 7, 1)
+	prob.SetEdge(7, 8, 1)
+	// Inter-cluster edges.
+	prob.SetEdge(2, 3, 2)
+	prob.SetEdge(5, 6, 2)
+	prob.SetEdge(8, 9, 3)
+	prob.SetEdge(2, 10, 1)
+	prob.SetEdge(5, 10, 1)
+	clus := &mimdmap.Clustering{Of: []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3}, K: 4}
+	sys := mimdmap.Ring(4) // the paper's Fig. 5-a machine
+
+	res, err := mimdmap.Map(prob, clus, sys, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lower bound %d, critical edges %d, frozen clusters %v\n",
+		res.LowerBound, res.Critical.NumCriticalProbEdges(), res.Critical.CriticalClusters())
+	fmt.Printf("mapping %v: total time %d after %d refinements (optimal proven: %v)\n\n",
+		res.Assignment.ProcOf, res.TotalTime, res.Refinements, res.OptimalProven)
+
+	eval, err := mimdmap.NewEvaluator(prob, clus, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("execution chart (paper Fig. 24):")
+	fmt.Println(mimdmap.RenderGantt(eval.Evaluate(res.Assignment), clus, res.Assignment, sys.NumNodes()))
+}

@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+
+	"mimdmap/internal/schedule"
+)
+
+// AnnealOptions configures simulated annealing (refs [3] and [14] of the
+// paper). The zero value selects sensible defaults.
+type AnnealOptions struct {
+	// InitialTemp is the starting temperature. 0 derives it from the cost
+	// spread of a short random walk so roughly 80% of uphill moves are
+	// initially accepted.
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per step, in (0,1).
+	// 0 means 0.995.
+	Cooling float64
+	// Steps is the number of proposed swaps. 0 means 200×K.
+	Steps int
+	// MinTemp stops the schedule early once the temperature drops below
+	// it. 0 means 1e-3.
+	MinTemp float64
+}
+
+func (o *AnnealOptions) defaults(k int) {
+	if o.Cooling == 0 {
+		o.Cooling = 0.995
+	}
+	if o.Steps == 0 {
+		o.Steps = 200 * k
+	}
+	if o.MinTemp == 0 {
+		o.MinTemp = 1e-3
+	}
+}
+
+// Anneal minimises obj over cluster→processor bijections with simulated
+// annealing using the swap neighbourhood, starting from start. It returns
+// the best assignment seen and its objective value. Deterministic given rng.
+func Anneal(start *schedule.Assignment, obj Objective, opts AnnealOptions, rng *rand.Rand) (*schedule.Assignment, int) {
+	k := start.K()
+	opts.defaults(k)
+	cur := start.Clone()
+	curCost := obj(cur)
+	best := cur.Clone()
+	bestCost := curCost
+
+	if k < 2 {
+		return best, bestCost
+	}
+
+	temp := opts.InitialTemp
+	if temp == 0 {
+		temp = calibrateTemp(cur, obj, rng)
+	}
+
+	for step := 0; step < opts.Steps && temp > opts.MinTemp; step++ {
+		i := rng.Intn(k)
+		j := rng.Intn(k - 1)
+		if j >= i {
+			j++
+		}
+		cur.Swap(i, j)
+		cost := obj(cur)
+		delta := cost - curCost
+		if delta <= 0 || rng.Float64() < math.Exp(-float64(delta)/temp) {
+			curCost = cost
+			if curCost < bestCost {
+				bestCost = curCost
+				copy(best.ProcOf, cur.ProcOf)
+			}
+		} else {
+			cur.Swap(i, j) // reject
+		}
+		temp *= opts.Cooling
+	}
+	return best, bestCost
+}
+
+// calibrateTemp samples random swaps to estimate the typical uphill cost
+// delta, and returns the temperature at which such a move is accepted with
+// probability ~0.8.
+func calibrateTemp(a *schedule.Assignment, obj Objective, rng *rand.Rand) float64 {
+	k := a.K()
+	probe := a.Clone()
+	base := obj(probe)
+	sum, count := 0.0, 0
+	for t := 0; t < 32; t++ {
+		i := rng.Intn(k)
+		j := rng.Intn(k - 1)
+		if j >= i {
+			j++
+		}
+		probe.Swap(i, j)
+		if d := obj(probe) - base; d > 0 {
+			sum += float64(d)
+			count++
+		}
+		probe.Swap(i, j)
+	}
+	if count == 0 {
+		return 1.0
+	}
+	mean := sum / float64(count)
+	return -mean / math.Log(0.8)
+}
+
+// AnnealTotalTime is a convenience wrapper: simulated annealing on the total
+// execution time starting from a random assignment.
+func AnnealTotalTime(e *schedule.Evaluator, opts AnnealOptions, rng *rand.Rand) (*schedule.Assignment, int) {
+	start := RandomAssignment(e.Clus.K, rng)
+	return Anneal(start, e.TotalTime, opts, rng)
+}

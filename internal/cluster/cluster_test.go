@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mimdmap/internal/graph"
+)
+
+func chainProblem(n int) *graph.Problem {
+	p := graph.NewProblem(n)
+	for i := range p.Size {
+		p.Size[i] = 1 + i%3
+	}
+	for i := 0; i+1 < n; i++ {
+		p.SetEdge(i, i+1, 1+i%4)
+	}
+	return p
+}
+
+func allClusterers(rng *rand.Rand) []Clusterer {
+	return []Clusterer{
+		&Random{Rand: rng},
+		RoundRobin{},
+		Blocks{},
+		LoadBalance{},
+		EdgeZeroing{},
+		DominantSequence{},
+	}
+}
+
+func TestAllClusterersProduceValidClusterings(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		p := graph.NewProblem(n)
+		for i := range p.Size {
+			p.Size[i] = 1 + rng.Intn(9)
+		}
+		perm := rng.Perm(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Float64() < 0.2 {
+					p.SetEdge(perm[a], perm[b], 1+rng.Intn(5))
+				}
+			}
+		}
+		k := 1 + rng.Intn(n)
+		for _, cl := range allClusterers(rng) {
+			c, err := cl.Cluster(p, k)
+			if err != nil {
+				return false
+			}
+			if c.Validate() != nil {
+				return false
+			}
+			if c.K != k || c.NumTasks() != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllClusterersRejectBadArgs(t *testing.T) {
+	p := chainProblem(3)
+	for _, cl := range allClusterers(rand.New(rand.NewSource(1))) {
+		if _, err := cl.Cluster(p, 0); err == nil {
+			t.Errorf("%s accepted k=0", cl.Name())
+		}
+		if _, err := cl.Cluster(p, 4); err == nil {
+			t.Errorf("%s accepted k > np", cl.Name())
+		}
+	}
+}
+
+func TestClustererNames(t *testing.T) {
+	want := map[string]bool{
+		"random": true, "round-robin": true, "blocks": true,
+		"load-balance": true, "edge-zeroing": true, "dominant-sequence": true,
+	}
+	for _, cl := range allClusterers(rand.New(rand.NewSource(1))) {
+		if !want[cl.Name()] {
+			t.Errorf("unexpected clusterer name %q", cl.Name())
+		}
+	}
+}
+
+func TestRoundRobinExact(t *testing.T) {
+	c, err := RoundRobin{}.Cluster(chainProblem(7), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range c.Of {
+		if k != i%3 {
+			t.Fatalf("Of[%d] = %d, want %d", i, k, i%3)
+		}
+	}
+}
+
+func TestBlocksContiguousInTopoOrder(t *testing.T) {
+	p := chainProblem(10)
+	c, err := Blocks{}.Cluster(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a chain the topo order is the identity: blocks must be
+	// non-decreasing along the chain.
+	for i := 0; i+1 < 10; i++ {
+		if c.Of[i] > c.Of[i+1] {
+			t.Fatalf("blocks not contiguous: Of = %v", c.Of)
+		}
+	}
+	// Balanced: sizes differ by at most 1.
+	sizes := c.Sizes()
+	for _, s := range sizes {
+		if s < 3 || s > 4 {
+			t.Fatalf("unbalanced blocks: %v", sizes)
+		}
+	}
+}
+
+func TestLoadBalanceBalancesLoads(t *testing.T) {
+	p := graph.NewProblem(8)
+	p.Size = []int{9, 1, 1, 1, 8, 1, 1, 2}
+	c, err := LoadBalance{}.Cluster(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := c.Loads(p)
+	// Total 24; LPT puts 9 and 8 in different clusters; final loads 12/12.
+	if loads[0] != 12 || loads[1] != 12 {
+		t.Fatalf("loads = %v, want [12 12]", loads)
+	}
+}
+
+func TestLoadBalancePropertyNearBalanced(t *testing.T) {
+	// LPT guarantee: max load ≤ mean + largest task.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		p := graph.NewProblem(n)
+		largest := 0
+		for i := range p.Size {
+			p.Size[i] = 1 + rng.Intn(20)
+			if p.Size[i] > largest {
+				largest = p.Size[i]
+			}
+		}
+		k := 2 + rng.Intn(n-1)
+		c, err := LoadBalance{}.Cluster(p, k)
+		if err != nil {
+			return false
+		}
+		loads := c.Loads(p)
+		mean := float64(p.TotalWork()) / float64(k)
+		for _, l := range loads {
+			if float64(l) > mean+float64(largest) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeZeroingMergesHeaviestEdge(t *testing.T) {
+	// Heaviest edge 1—2 (w9) must be internal after clustering to 3.
+	p := graph.NewProblem(4)
+	p.Size = []int{1, 1, 1, 1}
+	p.SetEdge(0, 1, 1)
+	p.SetEdge(1, 2, 9)
+	p.SetEdge(2, 3, 1)
+	c, err := EdgeZeroing{}.Cluster(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.SameCluster(1, 2) {
+		t.Fatalf("heaviest edge not zeroed: %v", c.Of)
+	}
+}
+
+func TestEdgeZeroingHandlesEdgelessGraph(t *testing.T) {
+	p := graph.NewProblem(5) // no edges at all
+	c, err := EdgeZeroing{}.Cluster(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeZeroingRespectsLoadCapWhenPossible(t *testing.T) {
+	// A heavy chain: with BalanceFactor 1.0 and k=2, the cap is
+	// total/2, so merging must not put everything in one cluster.
+	p := chainProblem(8)
+	c, err := EdgeZeroing{BalanceFactor: 1.0}.Cluster(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := c.Sizes()
+	if sizes[0] == 0 || sizes[1] == 0 {
+		t.Fatalf("degenerate split: %v", sizes)
+	}
+}
+
+func TestRandomClustererNilRandDeterministic(t *testing.T) {
+	p := chainProblem(12)
+	a, err := (&Random{}).Cluster(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Random{}).Cluster(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Of {
+		if a.Of[i] != b.Of[i] {
+			t.Fatal("nil-Rand Random clusterer not deterministic")
+		}
+	}
+}
+
+func TestRandomClustererCoversAllClusters(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := chainProblem(2 + rng.Intn(30))
+		k := 1 + rng.Intn(p.NumTasks())
+		c, err := (&Random{Rand: rng}).Cluster(p, k)
+		if err != nil {
+			return false
+		}
+		return c.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterKEqualsN(t *testing.T) {
+	// k == np forces the identity-like partition (every cluster size 1).
+	p := chainProblem(5)
+	for _, cl := range allClusterers(rand.New(rand.NewSource(2))) {
+		c, err := cl.Cluster(p, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", cl.Name(), err)
+		}
+		for _, s := range c.Sizes() {
+			if s != 1 {
+				t.Fatalf("%s: sizes %v, want all 1", cl.Name(), c.Sizes())
+			}
+		}
+	}
+}
+
+func TestClusterKEqualsOne(t *testing.T) {
+	p := chainProblem(5)
+	for _, cl := range allClusterers(rand.New(rand.NewSource(3))) {
+		c, err := cl.Cluster(p, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", cl.Name(), err)
+		}
+		for _, k := range c.Of {
+			if k != 0 {
+				t.Fatalf("%s: task outside cluster 0", cl.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mimdmap/internal/graph"
+)
+
+func TestDominantSequenceValidProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		p := graph.NewProblem(n)
+		for i := range p.Size {
+			p.Size[i] = 1 + rng.Intn(9)
+		}
+		perm := rng.Perm(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Float64() < 0.25 {
+					p.SetEdge(perm[a], perm[b], 1+rng.Intn(8))
+				}
+			}
+		}
+		k := 1 + rng.Intn(n)
+		c, err := DominantSequence{}.Cluster(p, k)
+		if err != nil {
+			return false
+		}
+		return c.Validate() == nil && c.K == k
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominantSequenceZeroesHeavyChain(t *testing.T) {
+	// A chain with heavy communication and a cheap side task: DSC must put
+	// the chain into one cluster (zeroing its edges) and leave the side
+	// task outside.
+	p := graph.NewProblem(4)
+	p.Size = []int{1, 1, 1, 1}
+	p.SetEdge(0, 1, 10)
+	p.SetEdge(1, 2, 10)
+	p.SetEdge(0, 3, 1) // light side edge
+	c, err := DominantSequence{}.Cluster(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.SameCluster(0, 1) || !c.SameCluster(1, 2) {
+		t.Fatalf("heavy chain split: %v", c.Of)
+	}
+	if c.SameCluster(0, 3) {
+		t.Fatalf("side task absorbed into the chain: %v", c.Of)
+	}
+}
+
+func TestDominantSequenceKeepsParallelBranchesApart(t *testing.T) {
+	// Fork into two heavy independent branches: sequentialising them in
+	// one cluster would double the finish time, so DSC keeps them apart
+	// when the communication is cheap.
+	p := graph.NewProblem(3)
+	p.Size = []int{1, 10, 10}
+	p.SetEdge(0, 1, 1)
+	p.SetEdge(0, 2, 1)
+	c, err := DominantSequence{}.Cluster(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SameCluster(1, 2) {
+		t.Fatalf("parallel branches serialised: %v", c.Of)
+	}
+}
+
+func TestDominantSequenceSerialisesWhenCommDominates(t *testing.T) {
+	// A heavy edge 0→1 and an unrelated task 2, with k matching the
+	// natural cluster count so folding does not interfere: absorbing task
+	// 1 into the source's cluster beats paying the 50-unit message.
+	p := graph.NewProblem(3)
+	p.Size = []int{1, 2, 4}
+	p.SetEdge(0, 1, 50)
+	c, err := DominantSequence{}.Cluster(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.SameCluster(0, 1) {
+		t.Fatalf("heavy edge not zeroed: %v", c.Of)
+	}
+	if c.SameCluster(0, 2) {
+		t.Fatalf("unrelated task absorbed: %v", c.Of)
+	}
+}
+
+func TestDominantSequenceFoldsUpAndDown(t *testing.T) {
+	// A 6-task chain collapses into one natural cluster; folding must
+	// split it to reach k=3.
+	p := graph.NewProblem(6)
+	for i := range p.Size {
+		p.Size[i] = 1
+	}
+	for i := 0; i+1 < 6; i++ {
+		p.SetEdge(i, i+1, 5)
+	}
+	c, err := DominantSequence{}.Cluster(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Six independent tasks produce six natural clusters; folding must
+	// merge down to k=2.
+	q := graph.NewProblem(6)
+	for i := range q.Size {
+		q.Size[i] = 1 + i
+	}
+	c2, err := DominantSequence{}.Cluster(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominantSequenceName(t *testing.T) {
+	if (DominantSequence{}).Name() != "dominant-sequence" {
+		t.Fatal("name wrong")
+	}
+}

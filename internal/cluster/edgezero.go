@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"sort"
+
+	"mimdmap/internal/graph"
+)
+
+// EdgeZeroing is a Sarkar-style agglomerative clusterer (in the spirit of
+// refs [8]–[10] of the paper): every task starts in its own cluster, and
+// clusters joined by the heaviest remaining inter-cluster communication are
+// merged until exactly k clusters remain. A load cap keeps any single
+// cluster from absorbing more than BalanceFactor × (total work / k)
+// execution time unless no other merge is possible, which preserves
+// parallelism while "zeroing" the most expensive communication edges.
+type EdgeZeroing struct {
+	// BalanceFactor caps cluster loads during merging; values around 1.5–3
+	// work well. 0 means 2.0.
+	BalanceFactor float64
+}
+
+// Name implements Clusterer.
+func (EdgeZeroing) Name() string { return "edge-zeroing" }
+
+// Cluster implements Clusterer.
+func (z EdgeZeroing) Cluster(p *graph.Problem, k int) (*graph.Clustering, error) {
+	if err := checkArgs(p, k); err != nil {
+		return nil, err
+	}
+	factor := z.BalanceFactor
+	if factor == 0 {
+		factor = 2.0
+	}
+	n := p.NumTasks()
+	cap := int(factor * float64(p.TotalWork()) / float64(k))
+	if cap < 1 {
+		cap = 1
+	}
+
+	// Union-find over tasks, with per-root load.
+	parent := make([]int, n)
+	load := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+		load[i] = p.Size[i]
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// All edges sorted by descending weight (ties: ascending src, dst).
+	edges := p.EdgeList()
+	sort.SliceStable(edges, func(a, b int) bool { return edges[a][2] > edges[b][2] })
+
+	clusters := n
+	// First pass: merge respecting the load cap; second pass (overflow=true)
+	// ignores the cap so we always reach exactly k clusters.
+	for _, overflow := range []bool{false, true} {
+		for _, e := range edges {
+			if clusters == k {
+				break
+			}
+			a, b := find(e[0]), find(e[1])
+			if a == b {
+				continue
+			}
+			if !overflow && load[a]+load[b] > cap {
+				continue
+			}
+			parent[b] = a
+			load[a] += load[b]
+			clusters--
+		}
+		if clusters == k {
+			break
+		}
+	}
+	// The DAG may have fewer edges than needed (forests, independent
+	// chains): merge arbitrary smallest-load pairs until k remains.
+	for clusters > k {
+		var roots []int
+		for i := 0; i < n; i++ {
+			if find(i) == i {
+				roots = append(roots, i)
+			}
+		}
+		sort.Slice(roots, func(a, b int) bool {
+			if load[roots[a]] != load[roots[b]] {
+				return load[roots[a]] < load[roots[b]]
+			}
+			return roots[a] < roots[b]
+		})
+		parent[roots[1]] = roots[0]
+		load[roots[0]] += load[roots[1]]
+		clusters--
+	}
+
+	// Relabel roots densely in order of first appearance.
+	c := graph.NewClustering(n, k)
+	label := make(map[int]int, k)
+	next := 0
+	for t := 0; t < n; t++ {
+		r := find(t)
+		id, ok := label[r]
+		if !ok {
+			id = next
+			label[r] = id
+			next++
+		}
+		c.Of[t] = id
+	}
+	return c, nil
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mimdmap/internal/critical"
+	"mimdmap/internal/graph"
+	"mimdmap/internal/ideal"
+	"mimdmap/internal/schedule"
+	"mimdmap/internal/topology"
+)
+
+// analyse derives the critical analysis the initial assignment consumes.
+func analyse(t *testing.T, m *Mapper) *critical.Analysis {
+	t.Helper()
+	g, err := ideal.Derive(m.prob, m.clus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return critical.Analyze(m.prob, m.clus, g, critical.Paper)
+}
+
+func TestInitialAssignmentIsBijection(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, c := randomClusteredInstance(rng, 30)
+		sys := topology.Random(c.K, 0.2, rng)
+		m, err := New(p, c, sys, Options{})
+		if err != nil {
+			return false
+		}
+		g, err := ideal.Derive(p, c)
+		if err != nil {
+			return false
+		}
+		crit := critical.Analyze(p, c, g, critical.Paper)
+		assign, frozen := m.initialAssignment(crit)
+		if assign.Validate() != nil {
+			return false
+		}
+		return len(frozen) == c.K
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialAssignmentSeedsOnMaxDegrees(t *testing.T) {
+	// On a star machine, the seed system node must be the hub (node 0),
+	// and the seed abstract node the one with the highest critical degree.
+	p := graph.NewProblem(4)
+	p.Size = []int{1, 1, 1, 1}
+	p.SetEdge(0, 1, 5) // critical chain through clusters 0→1
+	p.SetEdge(1, 2, 5) // 1→2
+	p.SetEdge(2, 3, 5) // 2→3
+	c := graph.NewClustering(4, 4)
+	c.Of = []int{0, 1, 2, 3}
+	sys := topology.Star(4)
+	m, err := New(p, c, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := analyse(t, m)
+	// Critical degrees: cluster 0:5, 1:10, 2:10, 3:5 → seed is cluster 1
+	// (lowest ID among maxima), placed on the hub.
+	assign, frozen := m.initialAssignment(crit)
+	if assign.ProcOf[1] != 0 {
+		t.Fatalf("seed cluster 1 on processor %d, want hub 0", assign.ProcOf[1])
+	}
+	if !frozen[1] {
+		t.Fatal("seed with positive critical degree must be frozen")
+	}
+}
+
+func TestInitialAssignmentNoCriticalEdgesNothingFrozen(t *testing.T) {
+	// Independent tasks: no edges, no critical structure. Nothing may be
+	// frozen, so refinement has full freedom.
+	p := graph.NewProblem(4)
+	p.Size = []int{5, 4, 3, 2}
+	c := graph.NewClustering(4, 4)
+	c.Of = []int{0, 1, 2, 3}
+	m, err := New(p, c, topology.Ring(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := analyse(t, m)
+	assign, frozen := m.initialAssignment(crit)
+	if err := assign.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k, f := range frozen {
+		if f {
+			t.Fatalf("cluster %d frozen without critical edges", k)
+		}
+	}
+}
+
+func TestInitialAssignmentChainEmbedsInRing(t *testing.T) {
+	// A four-cluster critical chain must land entirely on ring links.
+	p := graph.NewProblem(4)
+	p.Size = []int{1, 1, 1, 1}
+	p.SetEdge(0, 1, 5)
+	p.SetEdge(1, 2, 5)
+	p.SetEdge(2, 3, 5)
+	c := graph.NewClustering(4, 4)
+	c.Of = []int{0, 1, 2, 3}
+	m, err := New(p, c, topology.Ring(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := analyse(t, m)
+	assign, frozen := m.initialAssignment(crit)
+	for _, pair := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		d := m.dist.At(assign.ProcOf[pair[0]], assign.ProcOf[pair[1]])
+		if d != 1 {
+			t.Fatalf("critical edge %v at distance %d, want 1 (assign %v)", pair, d, assign.ProcOf)
+		}
+	}
+	for k := 0; k < 4; k++ {
+		if !frozen[k] {
+			t.Fatalf("cluster %d of the fully critical chain should be frozen", k)
+		}
+	}
+}
+
+func TestInitialAssignmentDisconnectedCriticalComponents(t *testing.T) {
+	// Two independent critical chains (disconnected critical subgraph):
+	// the re-seeding path must still place everything bijectively, and on
+	// a symmetric machine (ring) both chains land on single links.
+	p := graph.NewProblem(4)
+	p.Size = []int{1, 1, 1, 1}
+	p.SetEdge(0, 1, 5) // chain A: clusters 0→1
+	p.SetEdge(2, 3, 5) // chain B: clusters 2→3
+	c := graph.NewClustering(4, 4)
+	c.Of = []int{0, 1, 2, 3}
+	m, err := New(p, c, topology.Ring(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := analyse(t, m)
+	assign, _ := m.initialAssignment(crit)
+	if err := assign.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+		if d := m.dist.At(assign.ProcOf[pair[0]], assign.ProcOf[pair[1]]); d != 1 {
+			t.Fatalf("chain %v at distance %d, want 1 (assign %v)", pair, d, assign.ProcOf)
+		}
+	}
+}
+
+func TestInitialAssignmentDisconnectedComponentsOnChainMachine(t *testing.T) {
+	// On a chain machine the greedy seeds mid-machine (maximum degree) and
+	// can strand a later critical component — a documented limitation of
+	// the paper's heuristic. The first-placed chain must still be
+	// adjacent, and the assignment must stay a bijection.
+	p := graph.NewProblem(4)
+	p.Size = []int{1, 1, 1, 1}
+	p.SetEdge(0, 1, 5)
+	p.SetEdge(2, 3, 5)
+	c := graph.NewClustering(4, 4)
+	c.Of = []int{0, 1, 2, 3}
+	m, err := New(p, c, topology.Chain(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := analyse(t, m)
+	assign, frozen := m.initialAssignment(crit)
+	if err := assign.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.dist.At(assign.ProcOf[0], assign.ProcOf[1]); d != 1 {
+		t.Fatalf("first chain at distance %d, want 1", d)
+	}
+	// The stranded chain's tail was not placed adjacently, so it must not
+	// be frozen (refinement may still move it).
+	if d := m.dist.At(assign.ProcOf[2], assign.ProcOf[3]); d == 1 && !frozen[3] {
+		t.Log("second chain happened to be adjacent; fine")
+	}
+}
+
+func TestInitialAssignmentSingleCluster(t *testing.T) {
+	p := graph.NewProblem(3)
+	p.Size = []int{1, 2, 3}
+	p.SetEdge(0, 1, 1)
+	c := graph.NewClustering(3, 1)
+	m, err := New(p, c, topology.Complete(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := analyse(t, m)
+	assign, _ := m.initialAssignment(crit)
+	if assign.ProcOf[0] != 0 {
+		t.Fatal("single cluster must land on the single processor")
+	}
+}
+
+func TestInitialAssignmentBeatsRandomOnAverage(t *testing.T) {
+	// Sanity: over random instances, the guided initial assignment should
+	// beat the mean of random assignments (this is the paper's core
+	// claim; a deterministic seed keeps the test stable).
+	rng := rand.New(rand.NewSource(1234))
+	wins, total := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		p, c := randomClusteredInstance(rng, 40)
+		if c.K < 4 {
+			continue
+		}
+		sys := topology.Random(c.K, 0.15, rng)
+		m, err := New(p, c, sys, Options{MaxRefinements: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		const samples = 8
+		for s := 0; s < samples; s++ {
+			sum += m.Evaluator().TotalTime(schedule.FromPerm(rng.Perm(c.K)))
+		}
+		if float64(res.TotalTime) <= float64(sum)/samples {
+			wins++
+		}
+		total++
+	}
+	if total == 0 {
+		t.Fatal("no instances generated")
+	}
+	if wins*100 < total*80 {
+		t.Fatalf("initial assignment beat random mean in only %d/%d cases", wins, total)
+	}
+}

@@ -1,0 +1,270 @@
+// Package core implements the paper's mapping strategy (§4.3): a
+// critical-edge-guided initial assignment of abstract nodes to system nodes,
+// followed by random-change refinement of the non-critical abstract nodes,
+// terminated early the moment the total time reaches the ideal-graph lower
+// bound (Theorem 3 proves such an assignment optimal).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mimdmap/internal/critical"
+	"mimdmap/internal/graph"
+	"mimdmap/internal/ideal"
+	"mimdmap/internal/paths"
+	"mimdmap/internal/schedule"
+)
+
+// RefineMove selects the random change applied per refinement trial
+// (§4.3.3 step 4a). The paper's wording — "randomly assign the non-critical
+// abstract nodes to the system nodes which are not occupied by critical
+// abstract nodes" — reads as a full random reshuffle of the movable part;
+// a single random swap per trial is the gentler hill-climbing reading that
+// preserves the initial assignment's structure. Both are provided; the
+// ablation benches compare them.
+type RefineMove int
+
+const (
+	// RandomSwap exchanges the processors of two random movable clusters
+	// per trial (default: it dominates FullReshuffle empirically and keeps
+	// the "random changes, keep if better" character of §4.3.3).
+	RandomSwap RefineMove = iota
+	// FullReshuffle randomly re-permutes all movable clusters every trial —
+	// the literal reading of §4.3.3 step 4(a).
+	FullReshuffle
+)
+
+// String returns the move name.
+func (m RefineMove) String() string {
+	switch m {
+	case RandomSwap:
+		return "random-swap"
+	case FullReshuffle:
+		return "full-reshuffle"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures the mapper. The zero value reproduces the paper's
+// algorithm (Paper propagation, ns refinement trials, random-change
+// refinement with the termination condition on).
+type Options struct {
+	// Propagation selects the critical-edge propagation mode (§4.2);
+	// the default critical.Paper follows the paper's algorithm literally.
+	Propagation critical.Propagation
+	// MaxRefinements bounds the refinement loop. 0 means the paper's
+	// default of ns trials ("a total of ns changes are allowed", §4.3.3);
+	// negative disables refinement entirely (initial assignment only).
+	MaxRefinements int
+	// Move selects the refinement move (see RefineMove).
+	Move RefineMove
+	// Rand drives the random-change refinement. nil seeds a deterministic
+	// generator (seed 1) so results are reproducible by default.
+	Rand *rand.Rand
+	// DisableTermination turns off the lower-bound early exit, forcing the
+	// full refinement budget to run. Only the termination-condition
+	// ablation uses this; the paper's algorithm keeps it on.
+	DisableTermination bool
+	// RecordTrials makes Run record every refinement trial's total time in
+	// Result.Trials, for convergence analysis.
+	RecordTrials bool
+	// Delays optionally assigns heterogeneous per-link delay factors
+	// (≥ 1); communication then costs weight × weighted shortest distance.
+	// nil means the paper's unit-delay machine. All delays ≥ 1 keep the
+	// ideal graph a valid lower bound, so the termination condition stays
+	// sound.
+	Delays *paths.LinkDelays
+}
+
+// Result is the outcome of a mapping run.
+type Result struct {
+	// Assignment maps each cluster to its processor.
+	Assignment *schedule.Assignment
+	// TotalTime is the complete execution time under Assignment.
+	TotalTime int
+	// LowerBound is the ideal-graph lower bound (§4.1 Algorithm II).
+	LowerBound int
+	// OptimalProven reports that TotalTime == LowerBound, in which case
+	// Theorem 3 guarantees the assignment is optimal and refinement was
+	// cut short by the termination condition.
+	OptimalProven bool
+	// InitialTotalTime is the total time of the initial assignment, before
+	// any refinement.
+	InitialTotalTime int
+	// Refinements is the number of refinement trials actually performed.
+	Refinements int
+	// Improved is the number of refinement trials that lowered the total
+	// time.
+	Improved int
+	// FrozenClusters marks the critical abstract nodes pinned during
+	// refinement (definition 5 of §2.1).
+	FrozenClusters []bool
+	// Trials records the total time observed at every refinement trial,
+	// in order, when Options.RecordTrials is set (nil otherwise). Useful
+	// for studying the refinement's convergence.
+	Trials []int
+	// Ideal is the derived ideal graph (start/end times, ideal edges).
+	Ideal *ideal.Graph
+	// Critical is the critical-edge analysis that guided the placement.
+	Critical *critical.Analysis
+}
+
+// Mapper maps one clustered problem graph onto one system graph. Build it
+// with New, then call Run. A Mapper is not safe for concurrent use because
+// refinement consumes its random generator; create one per goroutine.
+type Mapper struct {
+	opts Options
+	prob *graph.Problem
+	clus *graph.Clustering
+	sys  *graph.System
+	dist *paths.Table
+	abs  *graph.Abstract
+	eval *schedule.Evaluator
+}
+
+// New validates the inputs and builds a Mapper. The clustering must have
+// exactly as many clusters as the system has processors (na == ns), every
+// cluster non-empty, and the problem graph must be a DAG.
+func New(p *graph.Problem, c *graph.Clustering, s *graph.System, opts Options) (*Mapper, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if c.NumTasks() != p.NumTasks() {
+		return nil, fmt.Errorf("core: clustering covers %d tasks, problem has %d", c.NumTasks(), p.NumTasks())
+	}
+	if c.K != s.NumNodes() {
+		return nil, fmt.Errorf("core: %d clusters must equal %d system nodes", c.K, s.NumNodes())
+	}
+	if opts.Rand == nil {
+		opts.Rand = rand.New(rand.NewSource(1))
+	}
+	var dist *paths.Table
+	if opts.Delays != nil {
+		var derr error
+		dist, derr = paths.NewWeighted(s, opts.Delays)
+		if derr != nil {
+			return nil, derr
+		}
+	} else {
+		dist = paths.New(s)
+	}
+	eval, err := schedule.NewEvaluator(p, c, dist)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapper{
+		opts: opts,
+		prob: p,
+		clus: c,
+		sys:  s,
+		dist: dist,
+		abs:  graph.BuildAbstract(p, c),
+		eval: eval,
+	}, nil
+}
+
+// Evaluator exposes the mapper's assignment evaluator, so callers can
+// re-evaluate or inspect schedules without rebuilding state.
+func (m *Mapper) Evaluator() *schedule.Evaluator { return m.eval }
+
+// Dist exposes the system's shortest-path table.
+func (m *Mapper) Dist() *paths.Table { return m.dist }
+
+// Run executes the full strategy: derive the ideal graph and lower bound,
+// analyse critical edges, build the initial assignment, then refine.
+func (m *Mapper) Run() (*Result, error) {
+	ig, err := ideal.Derive(m.prob, m.clus)
+	if err != nil {
+		return nil, err
+	}
+	crit := critical.Analyze(m.prob, m.clus, ig, m.opts.Propagation)
+
+	assign, frozen := m.initialAssignment(crit)
+	res := &Result{
+		Assignment:     assign,
+		LowerBound:     ig.LowerBound,
+		FrozenClusters: frozen,
+		Ideal:          ig,
+		Critical:       crit,
+	}
+	res.TotalTime = m.eval.TotalTime(assign)
+	res.InitialTotalTime = res.TotalTime
+
+	if !m.opts.DisableTermination && res.TotalTime == res.LowerBound {
+		res.OptimalProven = true
+		return res, nil
+	}
+	m.refine(res)
+	return res, nil
+}
+
+// refine performs the §4.3.3 random-change refinement in place on res.
+func (m *Mapper) refine(res *Result) {
+	budget := m.opts.MaxRefinements
+	if budget == 0 {
+		budget = m.sys.NumNodes()
+	}
+	if budget < 0 {
+		return
+	}
+	// Collect the movable clusters and the processors they may occupy:
+	// everything not pinned by a critical abstract node.
+	var freeClusters, freeProcs []int
+	for k, isFrozen := range res.FrozenClusters {
+		if !isFrozen {
+			freeClusters = append(freeClusters, k)
+			freeProcs = append(freeProcs, res.Assignment.ProcOf[k])
+		}
+	}
+	if len(freeClusters) < 2 {
+		return // nothing can move
+	}
+	current := res.Assignment
+	trial := current.Clone()
+	for t := 0; t < budget; t++ {
+		res.Refinements++
+		switch m.opts.Move {
+		case FullReshuffle:
+			// Random permutation of the free processors among the free
+			// clusters — the literal §4.3.3 step 4(a).
+			perm := m.opts.Rand.Perm(len(freeProcs))
+			for i, k := range freeClusters {
+				trial.ProcOf[k] = freeProcs[perm[i]]
+			}
+		default: // RandomSwap
+			i := m.opts.Rand.Intn(len(freeClusters))
+			j := m.opts.Rand.Intn(len(freeClusters) - 1)
+			if j >= i {
+				j++
+			}
+			trial.Swap(freeClusters[i], freeClusters[j])
+		}
+		total := m.eval.TotalTime(trial)
+		if m.opts.RecordTrials {
+			res.Trials = append(res.Trials, total)
+		}
+		if !m.opts.DisableTermination && total == res.LowerBound {
+			res.Improved++
+			res.TotalTime = total
+			res.OptimalProven = true
+			res.Assignment = trial.Clone()
+			return
+		}
+		if total < res.TotalTime {
+			res.Improved++
+			res.TotalTime = total
+			current, trial = trial, current
+		}
+		copy(trial.ProcOf, current.ProcOf)
+	}
+	res.Assignment = current
+	res.OptimalProven = res.TotalTime == res.LowerBound
+}

@@ -1,0 +1,196 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mimdmap/internal/graph"
+	"mimdmap/internal/ideal"
+	"mimdmap/internal/paths"
+	"mimdmap/internal/schedule"
+	"mimdmap/internal/topology"
+)
+
+// cardInstance is the exhaustively verified cardinality counterexample:
+// global optimum 8 on ring-4.
+func cardInstance(t *testing.T) (*schedule.Evaluator, int) {
+	t.Helper()
+	p := graph.NewProblem(4)
+	for i := range p.Size {
+		p.Size[i] = 1
+	}
+	p.SetEdge(0, 1, 1)
+	p.SetEdge(1, 2, 1)
+	p.SetEdge(2, 3, 1)
+	p.SetEdge(0, 3, 1)
+	p.SetEdge(0, 2, 4)
+	c := graph.NewClustering(4, 4)
+	c.Of = []int{0, 1, 2, 3}
+	e, err := schedule.NewEvaluator(p, c, paths.New(topology.Ring(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ideal.Derive(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, g.LowerBound
+}
+
+func TestSolveFindsKnownOptimum(t *testing.T) {
+	e, bound := cardInstance(t)
+	res := Solve(e, bound, Options{})
+	if !res.Proven {
+		t.Fatal("search did not complete")
+	}
+	if res.TotalTime != 8 {
+		t.Fatalf("optimum = %d, want 8", res.TotalTime)
+	}
+	if got := e.TotalTime(res.Assignment); got != 8 {
+		t.Fatalf("assignment evaluates to %d", got)
+	}
+	if err := res.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveStopsAtIdealBound(t *testing.T) {
+	// A chain of four unit tasks on a ring embeds perfectly: the optimum
+	// equals the ideal bound and the Theorem-3 stop fires, so far fewer
+	// nodes are expanded than a complete search.
+	p := graph.NewProblem(4)
+	p.Size = []int{1, 1, 1, 1}
+	p.SetEdge(0, 1, 3)
+	p.SetEdge(1, 2, 3)
+	p.SetEdge(2, 3, 3)
+	c := graph.NewClustering(4, 4)
+	c.Of = []int{0, 1, 2, 3}
+	e, err := schedule.NewEvaluator(p, c, paths.New(topology.Ring(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ideal.Derive(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Solve(e, g.LowerBound, Options{})
+	if !res.Proven || res.TotalTime != g.LowerBound {
+		t.Fatalf("result %d (proven %v), want bound %d", res.TotalTime, res.Proven, g.LowerBound)
+	}
+	full := Solve(e, 0, Options{})
+	if full.TotalTime != res.TotalTime {
+		t.Fatalf("with and without bound disagree: %d vs %d", full.TotalTime, res.TotalTime)
+	}
+	if res.Nodes >= full.Nodes {
+		t.Fatalf("Theorem-3 stop saved nothing: %d vs %d nodes", res.Nodes, full.Nodes)
+	}
+}
+
+func TestSolveMatchesBruteForceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		p := graph.NewProblem(n)
+		for i := range p.Size {
+			p.Size[i] = 1 + rng.Intn(5)
+		}
+		perm := rng.Perm(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Float64() < 0.35 {
+					p.SetEdge(perm[a], perm[b], 1+rng.Intn(5))
+				}
+			}
+		}
+		k := 2 + rng.Intn(4) // up to 5 clusters → ≤120 assignments
+		if k > n {
+			k = n
+		}
+		c := graph.NewClustering(n, k)
+		dealt := rng.Perm(n)
+		for i, task := range dealt {
+			if i < k {
+				c.Of[task] = i
+			} else {
+				c.Of[task] = rng.Intn(k)
+			}
+		}
+		sys := topology.Random(k, 0.2, rng)
+		e, err := schedule.NewEvaluator(p, c, paths.New(sys))
+		if err != nil {
+			return false
+		}
+		g, err := ideal.Derive(p, c)
+		if err != nil {
+			return false
+		}
+		res := Solve(e, g.LowerBound, Options{})
+		if !res.Proven {
+			return false
+		}
+		// Brute force over all k! assignments.
+		brute := math.MaxInt
+		permutations(k, func(assign []int) {
+			if tt := e.TotalTime(schedule.FromPerm(assign)); tt < brute {
+				brute = tt
+			}
+		})
+		return res.TotalTime == brute && res.TotalTime >= g.LowerBound
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveBudget(t *testing.T) {
+	e, bound := cardInstance(t)
+	res := Solve(e, bound, Options{MaxNodes: 2})
+	if res.Proven {
+		t.Fatal("budget-limited search claimed proof")
+	}
+	if err := res.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime != e.TotalTime(res.Assignment) {
+		t.Fatal("reported time inconsistent with assignment")
+	}
+}
+
+func TestSolveSingleCluster(t *testing.T) {
+	p := graph.NewProblem(3)
+	p.Size = []int{2, 3, 4}
+	p.SetEdge(0, 1, 1)
+	c := graph.NewClustering(3, 1)
+	e, err := schedule.NewEvaluator(p, c, paths.New(topology.Complete(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Solve(e, 0, Options{})
+	// Pure dataflow model: the chain 0→1 takes 2+3 = 5 (intra-cluster
+	// communication is free) and the independent task 2 overlaps it.
+	if !res.Proven || res.TotalTime != 5 {
+		t.Fatalf("single-cluster optimum = %d (proven %v), want 5", res.TotalTime, res.Proven)
+	}
+}
+
+func permutations(n int, fn func([]int)) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			fn(perm)
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+}

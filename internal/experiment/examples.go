@@ -1,0 +1,133 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§2.2 counterexamples, the §4 running example, and the §5
+// random-workload Tables 1–3 with their Figs. 25–27 histograms), plus the
+// ablation experiments listed in DESIGN.md.
+package experiment
+
+import (
+	"mimdmap/internal/graph"
+	"mimdmap/internal/topology"
+)
+
+// Example bundles one fully specified mapping instance: a problem graph, a
+// clustering (often the identity, when np == ns), and a system graph.
+type Example struct {
+	Name string
+	Prob *graph.Problem
+	Clus *graph.Clustering
+	Sys  *graph.System
+	// Notes documents what the instance demonstrates and how it relates to
+	// the paper's original figures.
+	Notes string
+}
+
+// identityClustering puts every task in its own cluster (np == na).
+func identityClustering(n int) *graph.Clustering {
+	c := graph.NewClustering(n, n)
+	for i := range c.Of {
+		c.Of[i] = i
+	}
+	return c
+}
+
+// CardinalityExample reconstructs the §2.2 cardinality counterexample
+// (paper Figs. 7–12). The original 8-task instance is not digit-recoverable
+// from the scan, so this is a 4-task instance on a 4-ring preserving the
+// exact logical claim: the unique maximum-cardinality placement must stretch
+// the one heavy, time-critical edge across two system links and finishes in
+// 12 units, while a placement with strictly lower cardinality reaches the
+// 8-unit lower bound.
+//
+// Problem: tasks 0..3, unit sizes; edges 0→1 (w1), 1→2 (w1), 2→3 (w1),
+// 0→3 (w1), 0→2 (w4). The undirected support is a 4-cycle plus the chord
+// 0—2; removing any edge but the chord leaves a triangle, which a ring
+// cannot host, so every cardinality-4 assignment stretches 0—2 — exactly
+// the paper's situation where the stretched edge ep35 is forced.
+func CardinalityExample() *Example {
+	p := graph.NewProblem(4)
+	for i := range p.Size {
+		p.Size[i] = 1
+	}
+	p.SetEdge(0, 1, 1)
+	p.SetEdge(1, 2, 1)
+	p.SetEdge(2, 3, 1)
+	p.SetEdge(0, 3, 1)
+	p.SetEdge(0, 2, 4)
+	return &Example{
+		Name: "cardinality (Figs. 7-12)",
+		Prob: p,
+		Clus: identityClustering(4),
+		Sys:  topology.Ring(4),
+		Notes: "Maximum cardinality (4) forces the heavy critical edge 0→2 onto two links: " +
+			"total time 12. A cardinality-3 assignment keeps 0→2 adjacent and meets the " +
+			"lower bound of 8. Cardinality-optimal ≠ time-optimal.",
+	}
+}
+
+// CommCostExample reconstructs the §2.2 communication-cost counterexample
+// (paper Figs. 13–17). Again the original instance is not digit-recoverable;
+// this 4-task instance on a 4-ring preserves the claim: every assignment
+// minimising the Lee-style phased communication cost (8 units) stretches the
+// tight edge 0→2 and finishes in 12 units, while the time-optimal assignment
+// reaches the 11-unit lower bound at a higher communication cost of 12 —
+// the same relation as the paper's A3 (cost 11, time 23) versus A4 (cost 15,
+// time 21).
+//
+// Problem: sizes [1,1,4,1]; edges 0→1 (w4), 0→2 (w1), 0→3 (w4) in phase 1,
+// and 1→3 (w1), 2→3 (w4) in phase 2.
+func CommCostExample() *Example {
+	p := graph.NewProblem(4)
+	p.Size = []int{1, 1, 4, 1}
+	p.SetEdge(0, 1, 4)
+	p.SetEdge(0, 2, 1)
+	p.SetEdge(0, 3, 4)
+	p.SetEdge(1, 3, 1)
+	p.SetEdge(2, 3, 4)
+	return &Example{
+		Name: "comm-cost (Figs. 13-17)",
+		Prob: p,
+		Clus: identityClustering(4),
+		Sys:  topology.Ring(4),
+		Notes: "The phased-communication-cost optimum (cost 8) stretches the tight edge " +
+			"0→2: total time 12. The time optimum (lower bound 11) costs 12 communication " +
+			"units. Communication-optimal ≠ time-optimal.",
+	}
+}
+
+// RunningExample reconstructs the paper's running example (Figs. 2–6 and
+// 24): an 11-task program clustered into four groups, mapped onto the
+// paper's 4-node ring system graph (Fig. 5-a). The weights follow the spirit
+// of Fig. 2 (the scanned matrices are OCR-damaged): four chained clusters
+// A→B→C→D with one heavy critical inter-cluster edge per hop. The initial
+// assignment places every critical abstract edge on a single ring link and
+// meets the lower bound of 21 — so, exactly as in Fig. 24, the termination
+// condition fires and no refinement step runs.
+func RunningExample() *Example {
+	p := graph.NewProblem(11)
+	//               A: 0,1,2   B: 3,4,5   C: 6,7,8   D: 9,10
+	p.Size = []int{2, 1, 1, 1, 2, 1, 2, 1, 1, 2, 2}
+	// Intra-cluster chains (communication removed by clustering).
+	p.SetEdge(0, 1, 1)
+	p.SetEdge(1, 2, 1)
+	p.SetEdge(3, 4, 1)
+	p.SetEdge(4, 5, 1)
+	p.SetEdge(6, 7, 1)
+	p.SetEdge(7, 8, 1)
+	// Inter-cluster edges.
+	p.SetEdge(2, 3, 2)  // A→B
+	p.SetEdge(5, 6, 2)  // B→C
+	p.SetEdge(8, 9, 3)  // C→D (critical: feeds the latest task)
+	p.SetEdge(2, 10, 1) // A→D (slack)
+	p.SetEdge(5, 10, 1) // B→D (slack)
+	c := graph.NewClustering(11, 4)
+	c.Of = []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3}
+	return &Example{
+		Name: "running (Figs. 2-6, 24)",
+		Prob: p,
+		Clus: c,
+		Sys:  topology.Ring(4),
+		Notes: "Lower bound 21. The critical abstract edge C—D lands on one ring link; " +
+			"the initial assignment already achieves 21, so the termination condition " +
+			"stops the search before any refinement, as in Fig. 24.",
+	}
+}

@@ -1,0 +1,214 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mimdmap/internal/baseline"
+	"mimdmap/internal/core"
+	"mimdmap/internal/ideal"
+	"mimdmap/internal/schedule"
+)
+
+func TestForEachPermutationCountsFactorial(t *testing.T) {
+	for n, want := range map[int]int{1: 1, 2: 2, 3: 6, 4: 24} {
+		count := 0
+		seen := make(map[string]bool)
+		ForEachPermutation(n, func(perm []int) {
+			count++
+			key := ""
+			for _, v := range perm {
+				key += string(rune('a' + v))
+			}
+			seen[key] = true
+		})
+		if count != want || len(seen) != want {
+			t.Fatalf("n=%d: %d perms (%d distinct), want %d", n, count, len(seen), want)
+		}
+	}
+}
+
+// TestCardinalityExampleExhaustive proves the §2.2 cardinality claim over
+// all 24 assignments: maximum cardinality is 4, every cardinality-4
+// assignment needs ≥ 12 time units, while the global optimum reaches the
+// lower bound of 8 at cardinality 3.
+func TestCardinalityExampleExhaustive(t *testing.T) {
+	ex := CardinalityExample()
+	if err := ex.Prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := evaluatorFor(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := ideal.Derive(ex.Prob, ex.Clus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ig.LowerBound != 8 {
+		t.Fatalf("lower bound = %d, want 8", ig.LowerBound)
+	}
+	maxCard := -1
+	minTimeAtMaxCard := math.MaxInt
+	minTime := math.MaxInt
+	var minTimeCard int
+	ForEachPermutation(4, func(perm []int) {
+		a := schedule.FromPerm(perm)
+		card := e.Cardinality(a)
+		total := e.TotalTime(a)
+		if card > maxCard {
+			maxCard = card
+			minTimeAtMaxCard = math.MaxInt
+		}
+		if card == maxCard && total < minTimeAtMaxCard {
+			minTimeAtMaxCard = total
+		}
+		if total < minTime {
+			minTime = total
+			minTimeCard = card
+		}
+	})
+	if maxCard != 4 {
+		t.Fatalf("max cardinality = %d, want 4", maxCard)
+	}
+	if minTimeAtMaxCard != 12 {
+		t.Fatalf("best time at max cardinality = %d, want 12", minTimeAtMaxCard)
+	}
+	if minTime != 8 {
+		t.Fatalf("global best time = %d, want 8 (the lower bound)", minTime)
+	}
+	if minTimeCard >= maxCard {
+		t.Fatalf("time optimum has cardinality %d ≥ max %d: no separation", minTimeCard, maxCard)
+	}
+}
+
+// TestCommCostExampleExhaustive proves the §2.2 communication-cost claim
+// over all 24 assignments: the minimum phased cost is 8 and every
+// cost-8 assignment needs ≥ 12 time units, while the time optimum reaches
+// the lower bound of 11 at cost 12.
+func TestCommCostExampleExhaustive(t *testing.T) {
+	ex := CommCostExample()
+	if err := ex.Prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := evaluatorFor(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := ideal.Derive(ex.Prob, ex.Clus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ig.LowerBound != 11 {
+		t.Fatalf("lower bound = %d, want 11", ig.LowerBound)
+	}
+	phases := baseline.Phases(e)
+	minCost := math.MaxInt
+	minTimeAtMinCost := math.MaxInt
+	minTime := math.MaxInt
+	var minTimeCost int
+	ForEachPermutation(4, func(perm []int) {
+		a := schedule.FromPerm(perm)
+		cost := baseline.CommCost(e, phases, a)
+		total := e.TotalTime(a)
+		if cost < minCost {
+			minCost = cost
+			minTimeAtMinCost = math.MaxInt
+		}
+		if cost == minCost && total < minTimeAtMinCost {
+			minTimeAtMinCost = total
+		}
+		if total < minTime {
+			minTime = total
+			minTimeCost = cost
+		}
+	})
+	if minCost != 8 {
+		t.Fatalf("min comm cost = %d, want 8", minCost)
+	}
+	if minTimeAtMinCost != 12 {
+		t.Fatalf("best time at min cost = %d, want 12", minTimeAtMinCost)
+	}
+	if minTime != 11 {
+		t.Fatalf("global best time = %d, want 11 (the lower bound)", minTime)
+	}
+	if minTimeCost <= minCost {
+		t.Fatalf("time optimum has cost %d ≤ min %d: no separation", minTimeCost, minCost)
+	}
+}
+
+func TestRunningExampleTermination(t *testing.T) {
+	ex := RunningExample()
+	if err := ex.Prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Clus.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(ex.Prob, ex.Clus, ex.Sys, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LowerBound != 21 || res.TotalTime != 21 {
+		t.Fatalf("bound/total = %d/%d, want 21/21", res.LowerBound, res.TotalTime)
+	}
+	if !res.OptimalProven || res.Refinements != 0 {
+		t.Fatalf("termination condition did not fire: proven=%v refinements=%d",
+			res.OptimalProven, res.Refinements)
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	for name, fn := range map[string]func() (string, error){
+		"cardinality": CardinalityReport,
+		"commcost":    CommCostReport,
+		"running":     RunningReport,
+	} {
+		out, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(out, "lower bound") {
+			t.Fatalf("%s report missing lower bound:\n%s", name, out)
+		}
+		if !strings.Contains(out, "total time") {
+			t.Fatalf("%s report missing schedule chart", name)
+		}
+	}
+}
+
+func TestCardinalityReportStatesSeparation(t *testing.T) {
+	out, err := CardinalityReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"maximum cardinality 4", "best total time 12",
+		"time optimum, cardinality 3", "total time 8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCommCostReportStatesSeparation(t *testing.T) {
+	out, err := CommCostReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"minimum comm cost 8", "best total time 12",
+		"time optimum, comm cost 12", "total time 11",
+		"phase 1:", "phase 2:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

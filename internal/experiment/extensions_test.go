@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExactGapInvariants(t *testing.T) {
+	rows, err := ExactGap(Config{RandomTrials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		// bound ≤ optimum ≤ heuristic ≤ (usually) random mean.
+		if r.Optimum < r.Bound {
+			t.Fatalf("exp %d: optimum %d below ideal bound %d", r.Exp, r.Optimum, r.Bound)
+		}
+		if r.Heuristic < r.Optimum {
+			t.Fatalf("exp %d: heuristic %d beat the proven optimum %d", r.Exp, r.Heuristic, r.Optimum)
+		}
+		if r.GapPct() < 0 {
+			t.Fatalf("exp %d: negative gap", r.Exp)
+		}
+		if r.Nodes <= 0 {
+			t.Fatalf("exp %d: no search nodes recorded", r.Exp)
+		}
+	}
+}
+
+func TestExactGapReportRenders(t *testing.T) {
+	out, err := ExactGapReport(Config{RandomTrials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"optimum", "heuristic", "gap%", "mean heuristic gap", "bound tight"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareClusterersInvariants(t *testing.T) {
+	rows, err := CompareClusterers(Config{RandomTrials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Clusterer] = true
+		if r.MeanPct < 100 {
+			t.Fatalf("%s: mean %% over bound below 100 (%.1f)", r.Clusterer, r.MeanPct)
+		}
+		if r.MeanTime <= 0 {
+			t.Fatalf("%s: non-positive mean time", r.Clusterer)
+		}
+		if r.AtBound < 0 || r.AtBound > 11 {
+			t.Fatalf("%s: at-bound count %d out of range", r.Clusterer, r.AtBound)
+		}
+	}
+	for _, want := range []string{"random", "round-robin", "blocks", "load-balance", "edge-zeroing", "dominant-sequence"} {
+		if !names[want] {
+			t.Fatalf("missing clusterer %s", want)
+		}
+	}
+}
+
+func TestCompareClusterersReportRenders(t *testing.T) {
+	out, err := CompareClusterersReport(Config{RandomTrials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "clustering strategies") || !strings.Contains(out, "edge-zeroing") {
+		t.Fatalf("report wrong:\n%s", out)
+	}
+}

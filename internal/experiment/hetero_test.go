@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeteroLinksInvariants(t *testing.T) {
+	rows, err := HeteroLinks(Config{RandomTrials: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d, want 11 (mesh workload)", len(rows))
+	}
+	wins := 0
+	for _, r := range rows {
+		if r.OursPct < 100 || r.RandomPct < 100 {
+			t.Fatalf("exp %d: percentage below 100", r.Exp)
+		}
+		if r.AtBound != (r.OursPct == 100) {
+			t.Fatalf("exp %d: AtBound flag inconsistent", r.Exp)
+		}
+		if r.Improvement() >= 0 {
+			wins++
+		}
+	}
+	if wins < 10 {
+		t.Fatalf("ours won only %d/11 heterogeneous experiments", wins)
+	}
+}
+
+func TestHeteroLinksDeterministic(t *testing.T) {
+	a, err := HeteroLinks(Config{MasterSeed: 9, RandomTrials: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HeteroLinks(Config{MasterSeed: 9, RandomTrials: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestHeteroLinksDefaultDelay(t *testing.T) {
+	// maxDelay < 1 falls back to 3.
+	rows, err := HeteroLinks(Config{RandomTrials: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatal("fallback delay run failed")
+	}
+}
+
+func TestHeteroLinksReportRenders(t *testing.T) {
+	out, err := HeteroLinksReport(Config{RandomTrials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"heterogeneous link delays", "improvement", "mesh-5x8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepInvariants(t *testing.T) {
+	rows, err := Sweep(Config{RandomTrials: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(DefaultSweep()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(DefaultSweep()))
+	}
+	for _, r := range rows {
+		if r.OursMin > r.OursMax || r.RandomMin > r.RandomMax || r.ImpMin > r.ImpMax {
+			t.Fatalf("inverted range in %+v", r)
+		}
+		if r.OursMin < 100 || r.RandomMin < 100 {
+			t.Fatalf("percentage below 100 in %+v", r)
+		}
+		if r.AtBound < 0 || r.AtBound > 11 {
+			t.Fatalf("at-bound out of range in %+v", r)
+		}
+	}
+	// The qualitative trend: the comm-dominated point (last) must have a
+	// larger maximum improvement than the light-comm point (second).
+	if rows[3].ImpMax <= rows[1].ImpMax {
+		t.Fatalf("comm-dominated improvement %v not above light-comm %v",
+			rows[3].ImpMax, rows[1].ImpMax)
+	}
+}
+
+func TestSweepCustomPoints(t *testing.T) {
+	rows, err := Sweep(Config{RandomTrials: 2}, []SweepPoint{
+		{TaskSizeMax: 15, EdgeWeightMax: 3, EdgeFactor: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+}
+
+func TestSweepReportRenders(t *testing.T) {
+	out, err := SweepReport(Config{RandomTrials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Calibration sweep", "task size", "improvement range"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

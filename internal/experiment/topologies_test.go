@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareTopologiesInvariants(t *testing.T) {
+	rows, err := CompareTopologies(Config{RandomTrials: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 machines", len(rows))
+	}
+	byName := map[string]TopoRow{}
+	for _, r := range rows {
+		byName[r.Topology] = r
+		if r.OursPct < 100 || r.RandomPct < 100 {
+			t.Fatalf("%s: percentage below 100", r.Topology)
+		}
+		if r.OursPct > r.RandomPct {
+			t.Fatalf("%s: ours (%.1f) lost to random (%.1f) on average", r.Topology, r.OursPct, r.RandomPct)
+		}
+		if r.Links <= 0 || r.Diameter <= 0 {
+			t.Fatalf("%s: bad machine stats", r.Topology)
+		}
+	}
+	// Structural sanity of the comparison: the chain (diameter 15) must be
+	// worse for our mapper than the hypercube (diameter 4).
+	if byName["chain-16"].OursPct <= byName["hypercube-4"].OursPct {
+		t.Fatalf("chain (%.1f) not worse than hypercube (%.1f)",
+			byName["chain-16"].OursPct, byName["hypercube-4"].OursPct)
+	}
+}
+
+func TestCompareTopologiesDefaultInstances(t *testing.T) {
+	rows, err := CompareTopologies(Config{RandomTrials: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatal("default instance count failed")
+	}
+}
+
+func TestCompareTopologiesReportRenders(t *testing.T) {
+	out, err := CompareTopologiesReport(Config{RandomTrials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"16-processor machines", "hypercube-4", "debruijn-4", "diameter"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package gen
+
+import (
+	"fmt"
+
+	"mimdmap/internal/graph"
+)
+
+// Dense linear-algebra task DAGs beyond Gaussian elimination: right-looking
+// blocked LU and Cholesky factorisations, the classic DAG-scheduling
+// workloads (cf. refs [10] and [11] of the paper). Blocks are matrix tiles;
+// one task factorises/updates one tile at one step.
+
+// LU returns the task DAG of right-looking LU factorisation on an n×n tile
+// grid (no pivoting):
+//
+//	for k = 0..n-1:
+//	  GETF(k,k)                          — factorise the diagonal tile
+//	  TRSM(k,j) for j>k; TRSM(i,k) for i>k — triangular solves on row/column
+//	  GEMM(i,j) for i,j>k                — trailing-matrix updates
+//
+// GETF(k) depends on GEMM(k,k) of step k−1; TRSMs depend on GETF(k) and the
+// previous step's GEMM of their tile; GEMM(i,j) at step k depends on
+// TRSM(i,k), TRSM(k,j) and GEMM(i,j) of step k−1. Tasks sizes: diagSize for
+// GETF, solveSize for TRSM, updateSize for GEMM.
+func LU(n, diagSize, solveSize, updateSize, commWeight int) (*graph.Problem, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: LU needs n ≥ 2 tiles, got %d", n)
+	}
+	if diagSize <= 0 || solveSize <= 0 || updateSize <= 0 || commWeight <= 0 {
+		return nil, fmt.Errorf("gen: LU needs positive weights")
+	}
+	type key struct{ step, i, j int }
+	idx := map[key]int{}
+	total := 0
+	add := func(k key) {
+		idx[k] = total
+		total++
+	}
+	for k := 0; k < n; k++ {
+		add(key{k, k, k}) // GETF
+		for j := k + 1; j < n; j++ {
+			add(key{k, k, j}) // TRSM row
+			add(key{k, j, k}) // TRSM column
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				add(key{k, i, j}) // GEMM
+			}
+		}
+	}
+	p := graph.NewProblem(total)
+	for k := 0; k < n; k++ {
+		p.Size[idx[key{k, k, k}]] = diagSize
+		for j := k + 1; j < n; j++ {
+			p.Size[idx[key{k, k, j}]] = solveSize
+			p.Size[idx[key{k, j, k}]] = solveSize
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				p.Size[idx[key{k, i, j}]] = updateSize
+			}
+		}
+	}
+	dep := func(from, to key) {
+		p.SetEdge(idx[from], idx[to], commWeight)
+	}
+	for k := 0; k < n; k++ {
+		getf := key{k, k, k}
+		if k > 0 {
+			dep(key{k - 1, k, k}, getf)
+		}
+		for j := k + 1; j < n; j++ {
+			dep(getf, key{k, k, j})
+			dep(getf, key{k, j, k})
+			if k > 0 {
+				dep(key{k - 1, k, j}, key{k, k, j})
+				dep(key{k - 1, j, k}, key{k, j, k})
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				gemm := key{k, i, j}
+				dep(key{k, i, k}, gemm)
+				dep(key{k, k, j}, gemm)
+				if k > 0 {
+					dep(key{k - 1, i, j}, gemm)
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// Cholesky returns the task DAG of right-looking Cholesky factorisation on
+// an n×n tile grid (lower triangle only):
+//
+//	for k = 0..n-1:
+//	  POTF(k)                 — factorise the diagonal tile
+//	  TRSM(i,k) for i>k       — column solves
+//	  SYRK(i,j) for i≥j>k     — trailing updates (diagonal: SYRK, off: GEMM)
+func Cholesky(n, diagSize, solveSize, updateSize, commWeight int) (*graph.Problem, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: Cholesky needs n ≥ 2 tiles, got %d", n)
+	}
+	if diagSize <= 0 || solveSize <= 0 || updateSize <= 0 || commWeight <= 0 {
+		return nil, fmt.Errorf("gen: Cholesky needs positive weights")
+	}
+	type key struct{ step, i, j int }
+	idx := map[key]int{}
+	total := 0
+	add := func(k key) {
+		idx[k] = total
+		total++
+	}
+	for k := 0; k < n; k++ {
+		add(key{k, k, k})
+		for i := k + 1; i < n; i++ {
+			add(key{k, i, k})
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j <= i; j++ {
+				add(key{k, i, j})
+			}
+		}
+	}
+	p := graph.NewProblem(total)
+	for k := 0; k < n; k++ {
+		p.Size[idx[key{k, k, k}]] = diagSize
+		for i := k + 1; i < n; i++ {
+			p.Size[idx[key{k, i, k}]] = solveSize
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j <= i; j++ {
+				p.Size[idx[key{k, i, j}]] = updateSize
+			}
+		}
+	}
+	dep := func(from, to key) {
+		p.SetEdge(idx[from], idx[to], commWeight)
+	}
+	for k := 0; k < n; k++ {
+		potf := key{k, k, k}
+		if k > 0 {
+			dep(key{k - 1, k, k}, potf)
+		}
+		for i := k + 1; i < n; i++ {
+			dep(potf, key{k, i, k})
+			if k > 0 {
+				dep(key{k - 1, i, k}, key{k, i, k})
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j <= i; j++ {
+				upd := key{k, i, j}
+				dep(key{k, i, k}, upd)
+				if j != i {
+					dep(key{k, j, k}, upd)
+				}
+				if k > 0 {
+					dep(key{k - 1, i, j}, upd)
+				}
+			}
+		}
+	}
+	return p, nil
+}

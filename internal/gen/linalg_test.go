@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestLUShape(t *testing.T) {
+	p := mustValid(t)(LU(3, 2, 3, 4, 1))
+	// Step 0: 1 GETF + 2+2 TRSM + 4 GEMM = 9
+	// Step 1: 1 + 1+1 + 1 = 4
+	// Step 2: 1            = 1
+	if p.NumTasks() != 14 {
+		t.Fatalf("tasks = %d, want 14", p.NumTasks())
+	}
+	// The factorisation is inherently sequential across steps: exactly one
+	// source (GETF(0)) and the final GETF is the sink of the longest chain.
+	if got := len(p.Sources()); got != 1 {
+		t.Fatalf("sources = %d, want 1", got)
+	}
+	// Critical path: GETF0 → TRSM → GEMM → GETF1 → TRSM → GEMM → GETF2:
+	// 2+3+4+2+3+4+2 = 20 task units + 6 edges = 26.
+	if got := p.CriticalPathLength(); got != 26 {
+		t.Fatalf("critical path = %d, want 26", got)
+	}
+}
+
+func TestLUDegenerateArgs(t *testing.T) {
+	if _, err := LU(1, 1, 1, 1, 1); err == nil {
+		t.Fatal("accepted n=1")
+	}
+	if _, err := LU(3, 0, 1, 1, 1); err == nil {
+		t.Fatal("accepted zero size")
+	}
+	if _, err := LU(3, 1, 1, 1, 0); err == nil {
+		t.Fatal("accepted zero comm weight")
+	}
+}
+
+func TestCholeskyShape(t *testing.T) {
+	p := mustValid(t)(Cholesky(3, 2, 3, 4, 1))
+	// Step 0: 1 POTF + 2 TRSM + 3 updates (2,1),(2,2),(1,1) = 6
+	// Step 1: 1 + 1 + 1 = 3
+	// Step 2: 1         = 1
+	if p.NumTasks() != 10 {
+		t.Fatalf("tasks = %d, want 10", p.NumTasks())
+	}
+	if got := len(p.Sources()); got != 1 {
+		t.Fatalf("sources = %d, want 1", got)
+	}
+	// Critical path mirrors LU's: POTF→TRSM→UPD→POTF→TRSM→UPD→POTF
+	// = 2+3+4+2+3+4+2 + 6 = 26.
+	if got := p.CriticalPathLength(); got != 26 {
+		t.Fatalf("critical path = %d, want 26", got)
+	}
+}
+
+func TestCholeskySmallerThanLU(t *testing.T) {
+	// Cholesky works on the lower triangle only: for equal n it must have
+	// fewer tasks than LU.
+	lu := mustValid(t)(LU(4, 1, 1, 1, 1))
+	ch := mustValid(t)(Cholesky(4, 1, 1, 1, 1))
+	if ch.NumTasks() >= lu.NumTasks() {
+		t.Fatalf("cholesky %d tasks not below LU %d", ch.NumTasks(), lu.NumTasks())
+	}
+}
+
+func TestCholeskyDegenerateArgs(t *testing.T) {
+	if _, err := Cholesky(1, 1, 1, 1, 1); err == nil {
+		t.Fatal("accepted n=1")
+	}
+	if _, err := Cholesky(3, 1, -1, 1, 1); err == nil {
+		t.Fatal("accepted negative size")
+	}
+}

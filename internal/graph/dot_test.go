@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteProblemDOT(t *testing.T) {
+	p := diamond()
+	var buf bytes.Buffer
+	if err := WriteProblemDOT(&buf, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph problem {",
+		`t0 [label="0/2"]`,
+		`t0 -> t1 [label="1"]`,
+		`t2 -> t3 [label="1"]`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "subgraph") {
+		t.Fatal("unexpected cluster subgraphs without clustering")
+	}
+}
+
+func TestWriteProblemDOTWithClusters(t *testing.T) {
+	p := diamond()
+	c := NewClustering(4, 2)
+	c.Of = []int{0, 0, 1, 1}
+	var buf bytes.Buffer
+	if err := WriteProblemDOT(&buf, p, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"subgraph cluster_0", "subgraph cluster_1", `label="cluster 1"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSystemDOT(t *testing.T) {
+	s := square()
+	s.Name = "ring-4"
+	var buf bytes.Buffer
+	if err := WriteSystemDOT(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph system {",
+		`label="ring-4"`,
+		"p0 -- p1;",
+		"p0 -- p3;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly 4 links.
+	if got := strings.Count(out, " -- "); got != 4 {
+		t.Fatalf("links in DOT = %d, want 4", got)
+	}
+}

@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProblemRoundTrip(t *testing.T) {
+	p := diamond()
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProblem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Fatalf("round trip changed problem:\n%v\nvs\n%v", p, q)
+	}
+}
+
+func TestSystemRoundTrip(t *testing.T) {
+	s := square()
+	s.Name = "fig-5a"
+	var buf bytes.Buffer
+	if err := WriteSystem(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	u, err := ReadSystem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(u) {
+		t.Fatal("round trip changed system")
+	}
+	if u.Name != "fig-5a" {
+		t.Fatalf("name = %q, want fig-5a", u.Name)
+	}
+}
+
+func TestClusteringRoundTrip(t *testing.T) {
+	c := runningClustering()
+	var buf bytes.Buffer
+	if err := WriteClustering(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadClustering(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Of {
+		if c.Of[i] != d.Of[i] {
+			t.Fatalf("Of[%d] = %d, want %d", i, d.Of[i], c.Of[i])
+		}
+	}
+	if d.K != c.K {
+		t.Fatalf("K = %d, want %d", d.K, c.K)
+	}
+}
+
+func TestReadProblemCommentsAndBlanks(t *testing.T) {
+	in := `
+# a problem with comments
+problem 2
+
+task 0 3
+task 1 4
+# edge below
+edge 0 1 2
+`
+	p, err := ReadProblem(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size[0] != 3 || p.Size[1] != 4 || p.Edge[0][1] != 2 {
+		t.Fatalf("parsed wrong problem: %+v", p)
+	}
+}
+
+func TestReadProblemErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":         "task 0 1\n",
+		"unknown directive": "problem 1\nfrobnicate 1\n",
+		"bad number":        "problem x\n",
+		"missing field":     "problem 2\ntask 0\n",
+		"task out of range": "problem 1\ntask 5 1\n",
+		"edge out of range": "problem 1\nedge 0 5 1\n",
+		"empty input":       "",
+		"cyclic":            "problem 2\nedge 0 1 1\nedge 1 0 1\n",
+		"negative weight":   "problem 2\nedge 0 1 -4\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadProblem(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadProblem accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadSystemErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":         "link 0 1\n",
+		"unknown directive": "system 2\nnope\n",
+		"link out of range": "system 2\nlink 0 9\n",
+		"disconnected":      "system 3\nlink 0 1\n",
+		"empty input":       "",
+	}
+	for name, in := range cases {
+		if _, err := ReadSystem(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadSystem accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadClusteringErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":     "assign 0 0\n",
+		"out of range":  "clustering 2 2\nassign 0 0\nassign 1 5\n",
+		"empty cluster": "clustering 2 2\nassign 0 0\nassign 1 0\n",
+		"bad task":      "clustering 1 1\nassign 9 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadClustering(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadClustering accepted %q", name, in)
+		}
+	}
+}
+
+func TestProblemRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomDAG(rng, 25)
+		var buf bytes.Buffer
+		if err := WriteProblem(&buf, p); err != nil {
+			return false
+		}
+		q, err := ReadProblem(&buf)
+		if err != nil {
+			return false
+		}
+		return p.Equal(q)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadProblemRobustness(t *testing.T) {
+	// Inputs that should parse (forgiving cases) and inputs that must not.
+	good := map[string]string{
+		"redeclared task size":  "problem 2\ntask 0 1\ntask 0 5\n",
+		"edge weight updated":   "problem 2\nedge 0 1 1\nedge 0 1 7\n",
+		"whitespace everywhere": "  problem   2  \n\n  task  1   4 \n",
+	}
+	for name, in := range good {
+		if _, err := ReadProblem(strings.NewReader(in)); err != nil {
+			t.Errorf("%s: rejected: %v", name, err)
+		}
+	}
+	bad := map[string]string{
+		"second header smaller": "problem 3\ntask 2 1\nproblem 1\ntask 2 1\n",
+		"negative task":         "problem 1\ntask 0 -2\n",
+		"float weight":          "problem 2\nedge 0 1 1.5\n",
+		"trailing junk number":  "problem 2x\n",
+	}
+	for name, in := range bad {
+		if _, err := ReadProblem(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadProblemVeryLongLine(t *testing.T) {
+	// A comment line near the scanner's buffer limit must not break parsing.
+	long := "# " + strings.Repeat("x", 100000) + "\nproblem 1\ntask 0 2\n"
+	p, err := ReadProblem(strings.NewReader(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size[0] != 2 {
+		t.Fatal("long-comment input parsed wrong")
+	}
+}

@@ -1,0 +1,306 @@
+// Package graph defines the graph families used by the mapping strategy of
+// Yang, Bic and Nicolau: the problem graph (a weighted task DAG), the
+// clustered problem graph, the abstract graph, and the system graph.
+//
+// Tasks and processors are identified by dense 0-based integers. The paper
+// numbers tasks from 1; all worked examples in this repository therefore
+// appear shifted down by one relative to the paper's figures.
+//
+// All weights are non-negative integers measured in abstract time units, as
+// in the paper: node weights are task execution times, edge weights are
+// communication times across a single system edge.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Problem is a problem graph Gp: a directed acyclic graph whose nodes are
+// tasks with execution-time weights and whose edges carry communication-time
+// weights. Edge[i][j] > 0 means task i must complete before task j starts
+// and sends a message of cost Edge[i][j] (per system edge traversed).
+//
+// The zero value is an empty graph with no tasks; use NewProblem to allocate
+// a graph of a given size.
+type Problem struct {
+	// Size holds the execution time of each task. len(Size) is the number
+	// of tasks np.
+	Size []int
+	// Edge is the np×np problem edge matrix prob_edge of the paper.
+	// Edge[i][j] is the communication weight of the precedence edge i→j,
+	// or 0 if there is no edge.
+	Edge [][]int
+}
+
+// NewProblem returns a problem graph with n tasks, no edges, and all task
+// sizes zero.
+func NewProblem(n int) *Problem {
+	p := &Problem{
+		Size: make([]int, n),
+		Edge: make([][]int, n),
+	}
+	cells := make([]int, n*n)
+	for i := range p.Edge {
+		p.Edge[i], cells = cells[:n:n], cells[n:]
+	}
+	return p
+}
+
+// NumTasks returns np, the number of tasks.
+func (p *Problem) NumTasks() int { return len(p.Size) }
+
+// SetEdge records the precedence edge i→j with communication weight w.
+// It panics if i or j is out of range; use Validate to detect semantic
+// problems such as cycles or non-positive weights.
+func (p *Problem) SetEdge(i, j, w int) {
+	p.Edge[i][j] = w
+}
+
+// HasEdge reports whether the precedence edge i→j exists.
+func (p *Problem) HasEdge(i, j int) bool { return p.Edge[i][j] > 0 }
+
+// NumEdges returns the number of precedence edges.
+func (p *Problem) NumEdges() int {
+	n := 0
+	for i := range p.Edge {
+		for j := range p.Edge[i] {
+			if p.Edge[i][j] > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Preds returns the predecessor task IDs of task i in ascending order.
+func (p *Problem) Preds(i int) []int {
+	var preds []int
+	for j := range p.Edge {
+		if p.Edge[j][i] > 0 {
+			preds = append(preds, j)
+		}
+	}
+	return preds
+}
+
+// Succs returns the successor task IDs of task i in ascending order.
+func (p *Problem) Succs(i int) []int {
+	var succs []int
+	for j := range p.Edge[i] {
+		if p.Edge[i][j] > 0 {
+			succs = append(succs, j)
+		}
+	}
+	return succs
+}
+
+// InDegree returns the number of predecessors of task i.
+func (p *Problem) InDegree(i int) int {
+	n := 0
+	for j := range p.Edge {
+		if p.Edge[j][i] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// OutDegree returns the number of successors of task i.
+func (p *Problem) OutDegree(i int) int {
+	n := 0
+	for j := range p.Edge[i] {
+		if p.Edge[i][j] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalWork returns the sum of all task sizes: the serial execution time of
+// the program on a single processor, ignoring communication.
+func (p *Problem) TotalWork() int {
+	w := 0
+	for _, s := range p.Size {
+		w += s
+	}
+	return w
+}
+
+// TotalComm returns the sum of all edge weights.
+func (p *Problem) TotalComm() int {
+	w := 0
+	for i := range p.Edge {
+		for j := range p.Edge[i] {
+			w += p.Edge[i][j]
+		}
+	}
+	return w
+}
+
+// Clone returns a deep copy of the problem graph.
+func (p *Problem) Clone() *Problem {
+	q := NewProblem(p.NumTasks())
+	copy(q.Size, p.Size)
+	for i := range p.Edge {
+		copy(q.Edge[i], p.Edge[i])
+	}
+	return q
+}
+
+// Equal reports whether two problem graphs have identical task sizes and
+// edge matrices.
+func (p *Problem) Equal(q *Problem) bool {
+	if p.NumTasks() != q.NumTasks() {
+		return false
+	}
+	for i, s := range p.Size {
+		if q.Size[i] != s {
+			return false
+		}
+	}
+	for i := range p.Edge {
+		for j := range p.Edge[i] {
+			if p.Edge[i][j] != q.Edge[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ErrCyclic is returned by Validate and TopoOrder when the problem graph
+// contains a directed cycle and therefore is not a precedence graph.
+var ErrCyclic = errors.New("graph: problem graph contains a cycle")
+
+// Validate checks the structural invariants of a problem graph: a square
+// edge matrix matching len(Size), non-negative task sizes and edge weights,
+// no self-loops, and acyclicity.
+func (p *Problem) Validate() error {
+	n := p.NumTasks()
+	if len(p.Edge) != n {
+		return fmt.Errorf("graph: edge matrix has %d rows, want %d", len(p.Edge), n)
+	}
+	for i := range p.Edge {
+		if len(p.Edge[i]) != n {
+			return fmt.Errorf("graph: edge matrix row %d has %d columns, want %d", i, len(p.Edge[i]), n)
+		}
+	}
+	for i, s := range p.Size {
+		if s < 0 {
+			return fmt.Errorf("graph: task %d has negative size %d", i, s)
+		}
+	}
+	for i := range p.Edge {
+		for j := range p.Edge[i] {
+			if p.Edge[i][j] < 0 {
+				return fmt.Errorf("graph: edge %d→%d has negative weight %d", i, j, p.Edge[i][j])
+			}
+			if i == j && p.Edge[i][j] != 0 {
+				return fmt.Errorf("graph: task %d has a self-loop", i)
+			}
+		}
+	}
+	if _, err := p.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns the task IDs in a topological order of the precedence
+// DAG (Kahn's algorithm; ties broken by ascending task ID so the order is
+// deterministic). It returns ErrCyclic if the graph has a cycle.
+func (p *Problem) TopoOrder() ([]int, error) {
+	n := p.NumTasks()
+	indeg := make([]int, n)
+	for i := range p.Edge {
+		for j := range p.Edge[i] {
+			if p.Edge[i][j] > 0 {
+				indeg[j]++
+			}
+		}
+	}
+	// ready is kept sorted by construction: we scan IDs in ascending order
+	// and append newly freed tasks, then always take the minimum.
+	order := make([]int, 0, n)
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		// Extract the minimum for determinism.
+		min := 0
+		for k := 1; k < len(ready); k++ {
+			if ready[k] < ready[min] {
+				min = k
+			}
+		}
+		v := ready[min]
+		ready[min] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for j := range p.Edge[v] {
+			if p.Edge[v][j] > 0 {
+				indeg[j]--
+				if indeg[j] == 0 {
+					ready = append(ready, j)
+				}
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCyclic
+	}
+	return order, nil
+}
+
+// Sources returns the tasks with no predecessors.
+func (p *Problem) Sources() []int {
+	var srcs []int
+	for i := 0; i < p.NumTasks(); i++ {
+		if p.InDegree(i) == 0 {
+			srcs = append(srcs, i)
+		}
+	}
+	return srcs
+}
+
+// Sinks returns the tasks with no successors.
+func (p *Problem) Sinks() []int {
+	var snks []int
+	for i := 0; i < p.NumTasks(); i++ {
+		if p.OutDegree(i) == 0 {
+			snks = append(snks, i)
+		}
+	}
+	return snks
+}
+
+// CriticalPathLength returns the longest path through the DAG counting task
+// sizes and edge weights: the ideal-graph lower bound for the special case
+// where every task is its own cluster. It panics if the graph is cyclic.
+func (p *Problem) CriticalPathLength() int {
+	order, err := p.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	end := make([]int, p.NumTasks())
+	best := 0
+	for _, i := range order {
+		start := 0
+		for j := range p.Edge {
+			if p.Edge[j][i] > 0 {
+				if t := end[j] + p.Edge[j][i]; t > start {
+					start = t
+				}
+			}
+		}
+		end[i] = start + p.Size[i]
+		if end[i] > best {
+			best = end[i]
+		}
+	}
+	return best
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// System is a system graph Gs: the undirected interconnection topology of a
+// MIMD machine with ns homogeneous processing elements. Adj is the symmetric
+// boolean adjacency matrix sys_edge of the paper.
+type System struct {
+	// Name is an optional human-readable topology label such as
+	// "hypercube-4" or "mesh-3x4"; it does not affect any algorithm.
+	Name string
+	// Adj[i][j] reports whether processors i and j share a direct link.
+	Adj [][]bool
+}
+
+// NewSystem returns a system graph with n processors and no links.
+func NewSystem(n int) *System {
+	s := &System{Adj: make([][]bool, n)}
+	cells := make([]bool, n*n)
+	for i := range s.Adj {
+		s.Adj[i], cells = cells[:n:n], cells[n:]
+	}
+	return s
+}
+
+// NumNodes returns ns, the number of processors.
+func (s *System) NumNodes() int { return len(s.Adj) }
+
+// AddLink records the bidirectional link a—b. Self-links are ignored.
+func (s *System) AddLink(a, b int) {
+	if a == b {
+		return
+	}
+	s.Adj[a][b] = true
+	s.Adj[b][a] = true
+}
+
+// HasLink reports whether processors a and b are directly connected.
+func (s *System) HasLink(a, b int) bool { return s.Adj[a][b] }
+
+// Degree returns the number of direct neighbours of processor i
+// (matrix deg of the paper).
+func (s *System) Degree(i int) int {
+	d := 0
+	for _, adj := range s.Adj[i] {
+		if adj {
+			d++
+		}
+	}
+	return d
+}
+
+// Degrees returns the degree of every processor.
+func (s *System) Degrees() []int {
+	deg := make([]int, s.NumNodes())
+	for i := range deg {
+		deg[i] = s.Degree(i)
+	}
+	return deg
+}
+
+// NumLinks returns the number of undirected links.
+func (s *System) NumLinks() int {
+	n := 0
+	for i := range s.Adj {
+		for j := i + 1; j < len(s.Adj[i]); j++ {
+			if s.Adj[i][j] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Neighbors returns the direct neighbours of processor i in ascending order.
+func (s *System) Neighbors(i int) []int {
+	var ns []int
+	for j, adj := range s.Adj[i] {
+		if adj {
+			ns = append(ns, j)
+		}
+	}
+	return ns
+}
+
+// Clone returns a deep copy of the system graph.
+func (s *System) Clone() *System {
+	t := NewSystem(s.NumNodes())
+	t.Name = s.Name
+	for i := range s.Adj {
+		copy(t.Adj[i], s.Adj[i])
+	}
+	return t
+}
+
+// Closure returns the system graph closure: the fully connected graph on the
+// same processors (Fig. 5-b of the paper). Mapping onto the closure yields
+// the ideal graph and the lower bound on total time.
+func (s *System) Closure() *System {
+	n := s.NumNodes()
+	c := NewSystem(n)
+	c.Name = s.Name + "-closure"
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c.Adj[i][j] = i != j
+		}
+	}
+	return c
+}
+
+// IsConnected reports whether every processor can reach every other
+// processor. The empty graph and the single-node graph are connected.
+func (s *System) IsConnected() bool {
+	n := s.NumNodes()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j, adj := range s.Adj[v] {
+			if adj && !seen[j] {
+				seen[j] = true
+				count++
+				stack = append(stack, j)
+			}
+		}
+	}
+	return count == n
+}
+
+// Validate checks the structural invariants of a system graph: a square
+// symmetric adjacency matrix with an empty diagonal, and connectivity (a
+// disconnected machine cannot host a communicating program).
+func (s *System) Validate() error {
+	n := s.NumNodes()
+	for i := range s.Adj {
+		if len(s.Adj[i]) != n {
+			return fmt.Errorf("graph: system adjacency row %d has %d columns, want %d", i, len(s.Adj[i]), n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s.Adj[i][i] {
+			return fmt.Errorf("graph: processor %d has a self-link", i)
+		}
+		for j := i + 1; j < n; j++ {
+			if s.Adj[i][j] != s.Adj[j][i] {
+				return fmt.Errorf("graph: asymmetric link %d—%d", i, j)
+			}
+		}
+	}
+	if !s.IsConnected() {
+		return fmt.Errorf("graph: system graph %q is not connected", s.Name)
+	}
+	return nil
+}
+
+// Equal reports whether two system graphs have identical adjacency matrices
+// (names are ignored).
+func (s *System) Equal(t *System) bool {
+	if s.NumNodes() != t.NumNodes() {
+		return false
+	}
+	for i := range s.Adj {
+		for j := range s.Adj[i] {
+			if s.Adj[i][j] != t.Adj[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

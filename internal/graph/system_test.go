@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// square returns the 4-cycle system graph (the paper's Fig. 5-a machine).
+func square() *System {
+	s := NewSystem(4)
+	s.AddLink(0, 1)
+	s.AddLink(1, 2)
+	s.AddLink(2, 3)
+	s.AddLink(3, 0)
+	return s
+}
+
+func TestSystemBasics(t *testing.T) {
+	s := square()
+	if got := s.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes = %d, want 4", got)
+	}
+	if got := s.NumLinks(); got != 4 {
+		t.Fatalf("NumLinks = %d, want 4", got)
+	}
+	if !s.HasLink(0, 1) || !s.HasLink(1, 0) {
+		t.Fatal("links must be symmetric")
+	}
+	if s.HasLink(0, 2) {
+		t.Fatal("diagonal must be absent")
+	}
+	if got := s.Degree(0); got != 2 {
+		t.Fatalf("Degree(0) = %d, want 2", got)
+	}
+	if got := s.Degrees(); !reflect.DeepEqual(got, []int{2, 2, 2, 2}) {
+		t.Fatalf("Degrees = %v", got)
+	}
+	if got := s.Neighbors(0); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("Neighbors(0) = %v, want [1 3]", got)
+	}
+}
+
+func TestAddLinkIgnoresSelf(t *testing.T) {
+	s := NewSystem(2)
+	s.AddLink(1, 1)
+	if s.Adj[1][1] {
+		t.Fatal("self-link recorded")
+	}
+}
+
+func TestClosureFullyConnected(t *testing.T) {
+	c := square().Closure()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := i != j
+			if c.Adj[i][j] != want {
+				t.Fatalf("closure Adj[%d][%d] = %v, want %v", i, j, c.Adj[i][j], want)
+			}
+		}
+	}
+	if got := c.NumLinks(); got != 6 {
+		t.Fatalf("closure links = %d, want 6", got)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !square().IsConnected() {
+		t.Fatal("square should be connected")
+	}
+	s := NewSystem(4)
+	s.AddLink(0, 1)
+	s.AddLink(2, 3)
+	if s.IsConnected() {
+		t.Fatal("two components reported connected")
+	}
+	if NewSystem(0).IsConnected() != true {
+		t.Fatal("empty graph should count as connected")
+	}
+	if !NewSystem(1).IsConnected() {
+		t.Fatal("singleton should be connected")
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	if err := square().Validate(); err != nil {
+		t.Fatalf("square should validate: %v", err)
+	}
+	s := square()
+	s.Adj[0][0] = true
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate accepted self-link")
+	}
+	s = square()
+	s.Adj[0][2] = true // asymmetric
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric link")
+	}
+	s = NewSystem(3)
+	s.AddLink(0, 1)
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate accepted disconnected machine")
+	}
+}
+
+func TestSystemCloneAndEqual(t *testing.T) {
+	s := square()
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.AddLink(0, 2)
+	if s.Equal(c) {
+		t.Fatal("Equal missed new link")
+	}
+	if s.Adj[0][2] {
+		t.Fatal("mutating clone changed original")
+	}
+	if s.Equal(NewSystem(5)) {
+		t.Fatal("different sizes compared equal")
+	}
+}
+
+func TestClosurePropertyConnectedAndRegular(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		s := NewSystem(n)
+		// Random spanning tree + noise links.
+		for v := 1; v < n; v++ {
+			s.AddLink(v, rng.Intn(v))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					s.AddLink(i, j)
+				}
+			}
+		}
+		c := s.Closure()
+		if c.Validate() != nil && n > 1 {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if c.Degree(i) != n-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

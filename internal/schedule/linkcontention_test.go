@@ -1,0 +1,151 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mimdmap/internal/graph"
+	"mimdmap/internal/paths"
+	"mimdmap/internal/topology"
+)
+
+func routesFor(s *graph.System) *paths.Routes {
+	return paths.NewRoutes(s, paths.New(s))
+}
+
+func TestLinkContendedMatchesDataflowWithoutSharing(t *testing.T) {
+	// A single message cannot contend with anything: both evaluators agree.
+	p := graph.NewProblem(2)
+	p.Size = []int{1, 1}
+	p.SetEdge(0, 1, 3)
+	c := graph.NewClustering(2, 2)
+	c.Of = []int{0, 1}
+	sys := topology.Chain(2)
+	e, err := NewEvaluator(p, c, paths.New(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssignment(2)
+	flow := e.Evaluate(a)
+	cont := e.EvaluateLinkContended(a, routesFor(sys))
+	if flow.TotalTime != cont.TotalTime {
+		t.Fatalf("single message: dataflow %d vs link-contended %d", flow.TotalTime, cont.TotalTime)
+	}
+}
+
+func TestLinkContendedSerializesSharedLink(t *testing.T) {
+	// Two sources on processor 0's side send to two sinks across the same
+	// single link: the second message must wait.
+	//
+	// Tasks 0,1 (cluster 0, proc 0) → tasks 2,3 (cluster 1, proc 1);
+	// machine chain-2 with one link; weights 4 each; sizes 1.
+	p := graph.NewProblem(4)
+	p.Size = []int{1, 1, 1, 1}
+	p.SetEdge(0, 2, 4)
+	p.SetEdge(1, 3, 4)
+	c := graph.NewClustering(4, 2)
+	c.Of = []int{0, 0, 1, 1}
+	sys := topology.Chain(2)
+	e, err := NewEvaluator(p, c, paths.New(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssignment(2)
+	flow := e.Evaluate(a)
+	// Dataflow: both messages travel concurrently → both sinks start at 5.
+	if flow.Start[2] != 5 || flow.Start[3] != 5 {
+		t.Fatalf("dataflow starts = %v", flow.Start)
+	}
+	cont := e.EvaluateLinkContended(a, routesFor(sys))
+	// FCFS: message 0→2 goes first (lower ID), occupying the link [1,5);
+	// message 1→3 transmits [5,9). Task 2 starts at 5, task 3 at 9.
+	if cont.Start[2] != 5 || cont.Start[3] != 9 {
+		t.Fatalf("contended starts = %v, want task2@5 task3@9", cont.Start)
+	}
+	if cont.TotalTime != 10 {
+		t.Fatalf("contended total = %d, want 10", cont.TotalTime)
+	}
+}
+
+func TestLinkContendedMultiHopOccupiesEachLink(t *testing.T) {
+	// One message over two hops (store and forward): task 0 on processor 0
+	// sends weight 3 to task 2 on processor 2 of a 3-chain.
+	sys := topology.Chain(3)
+	p3 := graph.NewProblem(3)
+	p3.Size = []int{1, 1, 1}
+	p3.SetEdge(0, 2, 3)
+	c3 := graph.NewClustering(3, 3)
+	c3.Of = []int{0, 1, 2}
+	e, err := NewEvaluator(p3, c3, paths.New(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := NewAssignment(3) // task 0 on proc 0, task 2 on proc 2: distance 2
+	cont := e.EvaluateLinkContended(id, routesFor(sys))
+	// end0 = 1; hop 1 [1,4), hop 2 [4,7): task 2 starts at 7.
+	if cont.Start[2] != 7 {
+		t.Fatalf("start of task 2 = %d, want 7", cont.Start[2])
+	}
+	// Same as the dataflow model (w×d = 6) for a lone message.
+	if flow := e.Evaluate(id); flow.Start[2] != 7 {
+		t.Fatalf("dataflow start = %d, want 7", flow.Start[2])
+	}
+}
+
+func TestLinkContendedNeverFasterProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, c := randomClusteredInstance(rng, 20)
+		sys := topology.Random(c.K, 0.25, rng)
+		e, err := NewEvaluator(p, c, paths.New(sys))
+		if err != nil {
+			return false
+		}
+		routes := routesFor(sys)
+		a := FromPerm(rng.Perm(c.K))
+		flow := e.Evaluate(a)
+		cont := e.EvaluateLinkContended(a, routes)
+		if cont.TotalTime < flow.TotalTime {
+			return false
+		}
+		// Every task still respects its dataflow earliest start.
+		for i := range flow.Start {
+			if cont.Start[i] < flow.Start[i] {
+				return false
+			}
+			if cont.End[i] != cont.Start[i]+p.Size[i] {
+				return false
+			}
+		}
+		return cont.TotalTime == e.LinkContendedTotalTime(a, routes)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkContendedAllTasksScheduled(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, c := randomClusteredInstance(rng, 20)
+		sys := topology.Random(c.K, 0.25, rng)
+		e, err := NewEvaluator(p, c, paths.New(sys))
+		if err != nil {
+			return false
+		}
+		a := FromPerm(rng.Perm(c.K))
+		cont := e.EvaluateLinkContended(a, routesFor(sys))
+		// Every task must have been started (end ≥ size, and end == 0 only
+		// for size-0 sources).
+		for i := range cont.End {
+			if cont.End[i] < p.Size[i] {
+				return false
+			}
+		}
+		return len(cont.LatestTasks) > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

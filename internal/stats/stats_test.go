@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean([]float64{7}); got != 7 {
+		t.Fatalf("Mean = %v, want 7", got)
+	}
+}
+
+func TestMeanPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mean(nil) did not panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestMeanInt(t *testing.T) {
+	if got := MeanInt([]int{1, 2}); got != 1.5 {
+		t.Fatalf("MeanInt = %v, want 1.5", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138089935299395) > 1e-12 {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("StdDev single = %v, want 0", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Fatalf("StdDev nil = %v, want 0", got)
+	}
+	if got := StdDev([]float64{3, 3, 3}); got != 0 {
+		t.Fatalf("StdDev constant = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []int{4, -2, 9, 0}
+	if Min(xs) != -2 || Max(xs) != 9 {
+		t.Fatalf("Min/Max = %d/%d", Min(xs), Max(xs))
+	}
+}
+
+func TestMinMaxPanicEmpty(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Min": func() { Min(nil) },
+		"Max": func() { Max(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s(nil) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even Median = %v", got)
+	}
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestPercentOver(t *testing.T) {
+	if got := PercentOver(200, 230); got != 115 {
+		t.Fatalf("PercentOver = %v, want 115", got)
+	}
+	if got := PercentOver(100, 100); got != 100 {
+		t.Fatalf("PercentOver equal = %v, want 100", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PercentOver(0, ...) did not panic")
+		}
+	}()
+	PercentOver(0, 5)
+}
+
+func TestRoundPercent(t *testing.T) {
+	cases := map[float64]int{99.4: 99, 99.5: 100, 100.0: 100, 149.9: 150, -1.5: -2}
+	for in, want := range cases {
+		if got := RoundPercent(in); got != want {
+			t.Errorf("RoundPercent(%v) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestMeanBetweenMinAndMaxProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		ints := make([]int, n)
+		for i := range xs {
+			ints[i] = rng.Intn(1000) - 500
+			xs[i] = float64(ints[i])
+		}
+		m := Mean(xs)
+		return float64(Min(ints)) <= m && m <= float64(Max(ints)) && StdDev(xs) >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

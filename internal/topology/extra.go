@@ -1,0 +1,65 @@
+package topology
+
+import (
+	"fmt"
+
+	"mimdmap/internal/graph"
+)
+
+// Additional interconnection families beyond the paper's three (hypercube,
+// mesh, random): the constant-degree hypercube derivatives that 1990s MIMD
+// machines actually shipped with, useful as extra test machines.
+
+// CCC returns the cube-connected-cycles network CCC(d): every hypercube
+// node is replaced by a d-cycle, giving d·2^d processors of degree 3.
+// Node (w, i) — cycle position i of cube corner w — has ID w·d + i; it
+// links to its cycle neighbours (w, i±1) and across dimension i to
+// (w XOR 2^i, i). It panics for d outside [1, 16].
+func CCC(d int) *graph.System {
+	if d < 1 || d > 16 {
+		panic(fmt.Sprintf("topology: CCC dimension %d outside [1,16]", d))
+	}
+	corners := 1 << uint(d)
+	s := graph.NewSystem(d * corners)
+	s.Name = fmt.Sprintf("ccc-%d", d)
+	id := func(w, i int) int { return w*d + i }
+	for w := 0; w < corners; w++ {
+		for i := 0; i < d; i++ {
+			s.AddLink(id(w, i), id(w, (i+1)%d))
+			s.AddLink(id(w, i), id(w^(1<<uint(i)), i))
+		}
+	}
+	return s
+}
+
+// DeBruijn returns the undirected binary de Bruijn graph DB(2, d) on 2^d
+// nodes: node v links to (2v) mod 2^d and (2v+1) mod 2^d. Self-loops (at
+// the all-zeros and all-ones nodes) are dropped, so degrees range 2–4 and
+// the diameter is exactly d. It panics for d outside [1, 20].
+func DeBruijn(d int) *graph.System {
+	if d < 1 || d > 20 {
+		panic(fmt.Sprintf("topology: de Bruijn dimension %d outside [1,20]", d))
+	}
+	n := 1 << uint(d)
+	s := graph.NewSystem(n)
+	s.Name = fmt.Sprintf("debruijn-%d", d)
+	for v := 0; v < n; v++ {
+		s.AddLink(v, (2*v)%n)
+		s.AddLink(v, (2*v+1)%n)
+	}
+	return s
+}
+
+// Petersen returns the Petersen graph: 10 nodes, 3-regular, diameter 2 —
+// the classic counterexample machine. Nodes 0–4 form the outer pentagon,
+// 5–9 the inner pentagram.
+func Petersen() *graph.System {
+	s := graph.NewSystem(10)
+	s.Name = "petersen"
+	for v := 0; v < 5; v++ {
+		s.AddLink(v, (v+1)%5)     // outer cycle
+		s.AddLink(v, v+5)         // spokes
+		s.AddLink(5+v, 5+(v+2)%5) // inner pentagram
+	}
+	return s
+}

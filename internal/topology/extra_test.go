@@ -1,0 +1,114 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"mimdmap/internal/paths"
+)
+
+func TestCCC(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		s := CCC(d)
+		mustValidate(t, s)
+		want := d * (1 << uint(d))
+		if s.NumNodes() != want {
+			t.Fatalf("CCC(%d): %d nodes, want %d", d, s.NumNodes(), want)
+		}
+		if d >= 3 {
+			// For d ≥ 3 every node has exactly degree 3 (two cycle
+			// neighbours + one cube link).
+			for v := 0; v < s.NumNodes(); v++ {
+				if s.Degree(v) != 3 {
+					t.Fatalf("CCC(%d): node %d degree %d, want 3", d, v, s.Degree(v))
+				}
+			}
+		}
+	}
+	// CCC(3) is the canonical 24-node, 36-link machine.
+	s := CCC(3)
+	if s.NumLinks() != 36 {
+		t.Fatalf("CCC(3) links = %d, want 36", s.NumLinks())
+	}
+}
+
+func TestCCCPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CCC(0) did not panic")
+		}
+	}()
+	CCC(0)
+}
+
+func TestDeBruijn(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		s := DeBruijn(d)
+		mustValidate(t, s)
+		if s.NumNodes() != 1<<uint(d) {
+			t.Fatalf("DB(%d): %d nodes", d, s.NumNodes())
+		}
+		// The de Bruijn diameter equals d.
+		if got := paths.New(s).Diameter(); got != d {
+			t.Fatalf("DB(%d): diameter %d, want %d", d, got, d)
+		}
+		// Degrees are at most 4 (constant-degree network).
+		for v := 0; v < s.NumNodes(); v++ {
+			if s.Degree(v) > 4 || s.Degree(v) < 2 {
+				t.Fatalf("DB(%d): node %d degree %d outside [2,4]", d, v, s.Degree(v))
+			}
+		}
+	}
+}
+
+func TestPetersen(t *testing.T) {
+	s := Petersen()
+	mustValidate(t, s)
+	if s.NumNodes() != 10 || s.NumLinks() != 15 {
+		t.Fatalf("petersen: %d nodes %d links, want 10/15", s.NumNodes(), s.NumLinks())
+	}
+	for v := 0; v < 10; v++ {
+		if s.Degree(v) != 3 {
+			t.Fatalf("petersen: node %d degree %d, want 3", v, s.Degree(v))
+		}
+	}
+	// Girth 5: no triangles or squares — check via distances: any two
+	// adjacent nodes have no common neighbour.
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			if !s.HasLink(a, b) {
+				continue
+			}
+			for c := 0; c < 10; c++ {
+				if c != a && c != b && s.HasLink(a, c) && s.HasLink(b, c) {
+					t.Fatalf("petersen has a triangle %d-%d-%d", a, b, c)
+				}
+			}
+		}
+	}
+	if got := paths.New(s).Diameter(); got != 2 {
+		t.Fatalf("petersen diameter = %d, want 2", got)
+	}
+}
+
+func TestByNameExtras(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for spec, nodes := range map[string]int{
+		"ccc-3":      24,
+		"debruijn-4": 16,
+		"petersen":   10,
+	} {
+		s, err := ByName(spec, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if s.NumNodes() != nodes {
+			t.Fatalf("%s: %d nodes, want %d", spec, s.NumNodes(), nodes)
+		}
+	}
+	for _, bad := range []string{"ccc-0", "debruijn-99", "petersen-3"} {
+		if _, err := ByName(bad, rng); err == nil {
+			t.Fatalf("ByName accepted %q", bad)
+		}
+	}
+}
