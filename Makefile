@@ -1,0 +1,33 @@
+# Tier-1 verification plus the race/vet/bench gates for the parallel
+# execution engine. `make ci` is the one-command gate.
+
+GO ?= go
+
+.PHONY: all build test race vet bench ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over every package; the worker pool, the multi-start
+# mapper and the experiment fan-out all have tests that exercise shared
+# state concurrently.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Every benchmark once, no test re-run. Includes the sequential-versus-
+# parallel Table 2 / Sweep comparisons and the multi-start mapper.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+ci: build vet test race
+
+clean:
+	$(GO) clean ./...

@@ -11,6 +11,7 @@
 package mimdmap_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -414,3 +415,89 @@ func BenchmarkEvaluator(b *testing.B) {
 		eval.TotalTime(a)
 	}
 }
+
+// --- Parallel execution engine (internal/parallel) ---
+//
+// The engine fans the embarrassingly parallel table experiments out across
+// a bounded worker pool; these benchmarks pin sequential versus parallel
+// wall-clock on the same workload. Output is byte-identical at any worker
+// count, so the comparison is pure throughput. On a single-core machine
+// the variants tie (modulo pool overhead); the parallel ones win once
+// GOMAXPROCS > 1.
+
+// benchTable2AtWorkers regenerates Table 2 with the experiment fan-out
+// capped at the given worker count.
+func benchTable2AtWorkers(b *testing.B, workers int) {
+	b.Helper()
+	var res *experiment.TableResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.Table2(experiment.Config{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Rows)), "experiments")
+}
+
+// BenchmarkTable2Workers1 is the sequential baseline (workers == 1 runs the
+// plain loop, no goroutines).
+func BenchmarkTable2Workers1(b *testing.B) { benchTable2AtWorkers(b, 1) }
+
+// BenchmarkTable2Workers4 fans the eleven mesh experiments across four
+// workers.
+func BenchmarkTable2Workers4(b *testing.B) { benchTable2AtWorkers(b, 4) }
+
+// BenchmarkTable2WorkersMax uses one worker per available CPU.
+func BenchmarkTable2WorkersMax(b *testing.B) { benchTable2AtWorkers(b, 0) }
+
+// BenchmarkSweepWorkers{1,Max} do the same for the calibration sweep — the
+// heaviest harness entry point (four full Table 2 regenerations).
+func benchSweepAtWorkers(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Sweep(experiment.Config{Workers: workers}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepWorkers1(b *testing.B)   { benchSweepAtWorkers(b, 1) }
+func BenchmarkSweepWorkersMax(b *testing.B) { benchSweepAtWorkers(b, 0) }
+
+// benchMapStarts measures multi-start refinement: K independent chains on
+// one fixed 160-task/32-node instance, racing to the lower bound.
+func benchMapStarts(b *testing.B, starts int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(51))
+	prob, err := mimdmap.RandomProblem(mimdmap.RandomProblemConfig{
+		Tasks: 160, EdgeProb: 3.0 / 160, MinTaskSize: 1, MaxTaskSize: 20,
+		MinEdgeWeight: 1, MaxEdgeWeight: 5, Connected: true,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := mimdmap.Mesh(4, 8)
+	clus, err := mimdmap.RandomClusterer(rng).Cluster(prob, sys.NumNodes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = mimdmap.MapParallel(context.Background(), prob, clus, sys, &mimdmap.Options{
+			Rand:           rand.New(rand.NewSource(3)),
+			MaxRefinements: 400,
+			Starts:         starts,
+			Seed:           9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.TotalTime), "total")
+	b.ReportMetric(float64(res.LowerBound), "bound")
+}
+
+func BenchmarkMapStarts1(b *testing.B) { benchMapStarts(b, 1) }
+func BenchmarkMapStarts8(b *testing.B) { benchMapStarts(b, 8) }

@@ -11,46 +11,99 @@
 //	mapbench -fig running        # only the running example
 //	mapbench -ablation           # only the ablations
 //	mapbench -seed 7 -trials 25  # change master seed / random trials
+//	mapbench -workers 8          # cap the experiment fan-out (0 = all CPUs)
+//	mapbench -starts 4           # multi-start refinement chains per mapping
+//
+// Independent experiments fan out across -workers goroutines; the output
+// is byte-identical at any worker count because every instance derives its
+// random streams from the master seed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mimdmap/internal/experiment"
 )
 
-func main() {
-	var (
-		table      = flag.Int("table", 0, "regenerate only this table (1, 2 or 3); 0 = all")
-		fig        = flag.String("fig", "", "regenerate only this worked figure: cardinality, commcost or running")
-		ablation   = flag.Bool("ablation", false, "run only the ablation experiments")
-		extension  = flag.Bool("extension", false, "run only the extension experiments (exact optimum, clusterers, heterogeneous links)")
-		sweep      = flag.Bool("sweep", false, "run only the workload calibration sweep")
-		seed       = flag.Int64("seed", 0, "master seed (0 = paper default 1991)")
-		trials     = flag.Int("trials", 0, "random mappings averaged per instance (0 = 10)")
-		edgeFactor = flag.Float64("edgefactor", 0, "DAG density: edge probability = edgefactor/np (0 = default)")
-		taskSize   = flag.Int("tasksize", 0, "maximum task size (0 = default)")
-		edgeWeight = flag.Int("edgeweight", 0, "maximum communication weight (0 = default)")
-	)
-	flag.Parse()
-	cfg := experiment.Config{
-		MasterSeed:    *seed,
-		RandomTrials:  *trials,
-		EdgeFactor:    *edgeFactor,
-		TaskSizeMax:   *taskSize,
-		EdgeWeightMax: *edgeWeight,
-	}
+// errUsage signals that the flag package already printed the parse error
+// and usage; main must not report it a second time.
+var errUsage = errors.New("invalid arguments")
 
-	if err := run(cfg, *table, *fig, *ablation, *extension, *sweep); err != nil {
-		fmt.Fprintln(os.Stderr, "mapbench:", err)
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "mapbench:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiment.Config, table int, fig string, ablation, extension, sweep bool) error {
-	all := table == 0 && fig == "" && !ablation && !extension && !sweep
+// benchFlags is the parsed command line.
+type benchFlags struct {
+	cfg       experiment.Config
+	table     int
+	fig       string
+	ablation  bool
+	extension bool
+	sweep     bool
+}
+
+// parseFlags parses args into the experiment configuration and selectors.
+func parseFlags(args []string) (benchFlags, error) {
+	fs := flag.NewFlagSet("mapbench", flag.ContinueOnError)
+	var (
+		table      = fs.Int("table", 0, "regenerate only this table (1, 2 or 3); 0 = all")
+		fig        = fs.String("fig", "", "regenerate only this worked figure: cardinality, commcost or running")
+		ablation   = fs.Bool("ablation", false, "run only the ablation experiments")
+		extension  = fs.Bool("extension", false, "run only the extension experiments (exact optimum, clusterers, heterogeneous links)")
+		sweep      = fs.Bool("sweep", false, "run only the workload calibration sweep")
+		seed       = fs.Int64("seed", 0, "master seed (0 = paper default 1991)")
+		trials     = fs.Int("trials", 0, "random mappings averaged per instance (0 = 10)")
+		edgeFactor = fs.Float64("edgefactor", 0, "DAG density: edge probability = edgefactor/np (0 = default)")
+		taskSize   = fs.Int("tasksize", 0, "maximum task size (0 = default)")
+		edgeWeight = fs.Int("edgeweight", 0, "maximum communication weight (0 = default)")
+		workers    = fs.Int("workers", 0, "max concurrent experiments (0 = all CPUs, 1 = sequential)")
+		starts     = fs.Int("starts", 0, "multi-start refinement chains per mapping in the table, extension and sweep experiments (0 or 1 = single chain)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return benchFlags{}, err
+	}
+	return benchFlags{
+		cfg: experiment.Config{
+			MasterSeed:    *seed,
+			RandomTrials:  *trials,
+			EdgeFactor:    *edgeFactor,
+			TaskSizeMax:   *taskSize,
+			EdgeWeightMax: *edgeWeight,
+			Workers:       *workers,
+			Starts:        *starts,
+		},
+		table:     *table,
+		fig:       *fig,
+		ablation:  *ablation,
+		extension: *extension,
+		sweep:     *sweep,
+	}, nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	f, err := parseFlags(args)
+	if errors.Is(err, flag.ErrHelp) {
+		return nil // -h: usage already printed, exit 0
+	}
+	if err != nil {
+		return errUsage
+	}
+	return report(f, stdout)
+}
+
+func report(f benchFlags, w io.Writer) error {
+	cfg := f.cfg
+	all := f.table == 0 && f.fig == "" && !f.ablation && !f.extension && !f.sweep
 
 	tables := []struct {
 		id  int
@@ -61,17 +114,17 @@ func run(cfg experiment.Config, table int, fig string, ablation, extension, swee
 		{3, experiment.Table3},
 	}
 	for _, t := range tables {
-		if !all && table != t.id {
+		if !all && f.table != t.id {
 			continue
 		}
 		res, err := t.run(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
-		fmt.Println(res.Histogram())
+		fmt.Fprintln(w, res.Render())
+		fmt.Fprintln(w, res.Histogram())
 		lo, hi := res.ImprovementRange()
-		fmt.Printf("improvement range: %.0f–%.0f points over random mapping\n\n", lo, hi)
+		fmt.Fprintf(w, "improvement range: %.0f–%.0f points over random mapping\n\n", lo, hi)
 	}
 
 	figs := []struct {
@@ -82,57 +135,46 @@ func run(cfg experiment.Config, table int, fig string, ablation, extension, swee
 		{"commcost", experiment.CommCostReport},
 		{"running", experiment.RunningReport},
 	}
-	for _, f := range figs {
-		if !all && fig != f.key {
+	for _, fg := range figs {
+		if !all && f.fig != fg.key {
 			continue
 		}
-		report, err := f.run()
+		report, err := fg.run()
 		if err != nil {
 			return err
 		}
-		fmt.Println(report)
+		fmt.Fprintln(w, report)
 	}
 
-	if all || ablation {
+	if all || f.ablation {
 		report, err := experiment.AblationReport(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Println(report)
+		fmt.Fprintln(w, report)
 	}
 
-	if all || extension {
-		report, err := experiment.ExactGapReport(cfg)
-		if err != nil {
-			return err
+	if all || f.extension {
+		for _, rep := range []func(experiment.Config) (string, error){
+			experiment.ExactGapReport,
+			experiment.CompareClusterersReport,
+			experiment.HeteroLinksReport,
+			experiment.CompareTopologiesReport,
+		} {
+			report, err := rep(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, report)
 		}
-		fmt.Println(report)
-		report, err = experiment.CompareClusterersReport(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(report)
-		report, err = experiment.HeteroLinksReport(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(report)
 	}
 
-	if all || extension {
-		report, err := experiment.CompareTopologiesReport(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(report)
-	}
-
-	if all || sweep {
+	if all || f.sweep {
 		report, err := experiment.SweepReport(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Println(report)
+		fmt.Fprintln(w, report)
 	}
 	return nil
 }

@@ -7,12 +7,17 @@
 //	mapper -prob prob.txt -sys sys.txt -clus clus.txt
 //	mapper -prob prob.txt -topology mesh-4x4 -clusterer random
 //	mapper -prob prob.txt -topology ring-8 -clusterer edge-zeroing -gantt
+//	mapper -prob prob.txt -topology mesh-4x4 -clusterer random -starts 8 -workers 4
 //
 // Either -clus (a clustering file) or -clusterer (a strategy applied on the
 // fly) must be given; the cluster count always equals the machine size.
+// -starts N refines N independent seeded chains concurrently and keeps the
+// best mapping; -workers caps the concurrency (0 = all CPUs).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,28 +27,50 @@ import (
 	"mimdmap"
 )
 
+// errUsage signals that the flag package already printed the parse error
+// and usage; main must not report it a second time.
+var errUsage = errors.New("invalid arguments")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "mapper:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes the command, writing the report to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mapper", flag.ContinueOnError)
 	var (
-		probPath  = flag.String("prob", "", "problem graph file (required)")
-		sysPath   = flag.String("sys", "", "system graph file")
-		topoSpec  = flag.String("topology", "", "alternatively, a topology spec like mesh-4x4")
-		clusPath  = flag.String("clus", "", "clustering file")
-		clusterer = flag.String("clusterer", "", "or cluster on the fly: random, round-robin, blocks, load-balance, edge-zeroing, dominant-sequence")
-		seed      = flag.Int64("seed", 1, "random seed for clustering/refinement")
-		refines   = flag.Int("refinements", 0, "refinement budget (0 = paper default of ns)")
-		full      = flag.Bool("full-propagation", false, "use full critical-edge propagation")
-		gantt     = flag.Bool("gantt", false, "print the execution chart")
-		trials    = flag.Int("random-trials", 10, "random mappings to average for comparison")
+		probPath  = fs.String("prob", "", "problem graph file (required)")
+		sysPath   = fs.String("sys", "", "system graph file")
+		topoSpec  = fs.String("topology", "", "alternatively, a topology spec like mesh-4x4")
+		clusPath  = fs.String("clus", "", "clustering file")
+		clusterer = fs.String("clusterer", "", "or cluster on the fly: random, round-robin, blocks, load-balance, edge-zeroing, dominant-sequence")
+		seed      = fs.Int64("seed", 1, "random seed for clustering/refinement")
+		refines   = fs.Int("refinements", 0, "refinement budget (0 = paper default of ns)")
+		full      = fs.Bool("full-propagation", false, "use full critical-edge propagation")
+		gantt     = fs.Bool("gantt", false, "print the execution chart")
+		trials    = fs.Int("random-trials", 10, "random mappings to average for comparison")
+		starts    = fs.Int("starts", 1, "independent refinement chains raced concurrently (best wins)")
+		workers   = fs.Int("workers", 0, "max concurrent chains (0 = all CPUs)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return errUsage
+	}
 	rng := rand.New(rand.NewSource(*seed))
 
 	if *probPath == "" {
-		fail(fmt.Errorf("-prob is required"))
+		return fmt.Errorf("-prob is required")
 	}
 	prob, err := readFile(*probPath, mimdmap.ReadProblem)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	var sys *mimdmap.System
@@ -56,16 +83,65 @@ func main() {
 		err = fmt.Errorf("one of -sys or -topology is required")
 	}
 	if err != nil {
-		fail(err)
+		return err
 	}
 
-	var clus *mimdmap.Clustering
+	clus, err := clusteringFor(prob, sys, *clusPath, *clusterer, rng)
+	if err != nil {
+		return err
+	}
+
+	opts := &mimdmap.Options{
+		MaxRefinements: *refines,
+		Rand:           rng,
+		Starts:         *starts,
+		Workers:        *workers,
+		Seed:           *seed,
+	}
+	if *full {
+		opts.Propagation = mimdmap.FullPropagation
+	}
+	res, err := mimdmap.MapParallel(context.Background(), prob, clus, sys, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "problem: %d tasks, %d edges; machine: %s (%d nodes)\n",
+		prob.NumTasks(), prob.NumEdges(), sys.Name, sys.NumNodes())
+	fmt.Fprintf(stdout, "lower bound:        %d\n", res.LowerBound)
+	fmt.Fprintf(stdout, "initial assignment: %d\n", res.InitialTotalTime)
+	fmt.Fprintf(stdout, "final total time:   %d (%.1f%% of bound) after %d refinements\n",
+		res.TotalTime, 100*float64(res.TotalTime)/float64(res.LowerBound), res.Refinements)
+	if *starts > 1 {
+		fmt.Fprintf(stdout, "multi-start:        best of %d chains (chain %d won)\n", *starts, res.Chain)
+	}
+	fmt.Fprintf(stdout, "optimal proven:     %v\n", res.OptimalProven)
+	fmt.Fprintf(stdout, "mapping (cluster → processor): %v\n", res.Assignment.ProcOf)
+
+	eval, err := mimdmap.NewEvaluator(prob, clus, sys)
+	if err != nil {
+		return err
+	}
+	if *trials > 0 {
+		mean, _, best := mimdmap.RandomMapping(eval, *trials, rng)
+		fmt.Fprintf(stdout, "random mapping (%d trials): mean %.0f (%.1f%%), best %d\n",
+			*trials, mean, 100*mean/float64(res.LowerBound), best)
+	}
+	if *gantt {
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, mimdmap.RenderGantt(eval.Evaluate(res.Assignment), clus, res.Assignment, sys.NumNodes()))
+	}
+	return nil
+}
+
+// clusteringFor resolves the -clus / -clusterer choice.
+func clusteringFor(prob *mimdmap.Problem, sys *mimdmap.System, clusPath, clusterer string, rng *rand.Rand) (*mimdmap.Clustering, error) {
 	switch {
-	case *clusPath != "":
-		clus, err = readFile(*clusPath, mimdmap.ReadClustering)
-	case *clusterer != "":
+	case clusPath != "":
+		return readFile(clusPath, mimdmap.ReadClustering)
+	case clusterer != "":
 		var cl mimdmap.Clusterer
-		switch *clusterer {
+		switch clusterer {
 		case "random":
 			cl = mimdmap.RandomClusterer(rng)
 		case "round-robin":
@@ -79,46 +155,11 @@ func main() {
 		case "dominant-sequence":
 			cl = mimdmap.DominantSequenceClusterer
 		default:
-			fail(fmt.Errorf("unknown clusterer %q", *clusterer))
+			return nil, fmt.Errorf("unknown clusterer %q", clusterer)
 		}
-		clus, err = cl.Cluster(prob, sys.NumNodes())
+		return cl.Cluster(prob, sys.NumNodes())
 	default:
-		err = fmt.Errorf("one of -clus or -clusterer is required")
-	}
-	if err != nil {
-		fail(err)
-	}
-
-	opts := &mimdmap.Options{MaxRefinements: *refines, Rand: rng}
-	if *full {
-		opts.Propagation = mimdmap.FullPropagation
-	}
-	res, err := mimdmap.Map(prob, clus, sys, opts)
-	if err != nil {
-		fail(err)
-	}
-
-	fmt.Printf("problem: %d tasks, %d edges; machine: %s (%d nodes)\n",
-		prob.NumTasks(), prob.NumEdges(), sys.Name, sys.NumNodes())
-	fmt.Printf("lower bound:        %d\n", res.LowerBound)
-	fmt.Printf("initial assignment: %d\n", res.InitialTotalTime)
-	fmt.Printf("final total time:   %d (%.1f%% of bound) after %d refinements\n",
-		res.TotalTime, 100*float64(res.TotalTime)/float64(res.LowerBound), res.Refinements)
-	fmt.Printf("optimal proven:     %v\n", res.OptimalProven)
-	fmt.Printf("mapping (cluster → processor): %v\n", res.Assignment.ProcOf)
-
-	eval, err := mimdmap.NewEvaluator(prob, clus, sys)
-	if err != nil {
-		fail(err)
-	}
-	if *trials > 0 {
-		mean, _, best := mimdmap.RandomMapping(eval, *trials, rng)
-		fmt.Printf("random mapping (%d trials): mean %.0f (%.1f%%), best %d\n",
-			*trials, mean, 100*mean/float64(res.LowerBound), best)
-	}
-	if *gantt {
-		fmt.Println()
-		fmt.Println(mimdmap.RenderGantt(eval.Evaluate(res.Assignment), clus, res.Assignment, sys.NumNodes()))
+		return nil, fmt.Errorf("one of -clus or -clusterer is required")
 	}
 }
 
@@ -130,9 +171,4 @@ func readFile[T any](path string, read func(r io.Reader) (T, error)) (T, error) 
 	}
 	defer f.Close()
 	return read(f)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mapper:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mimdmap"
+)
+
+// writeInstance writes a deterministic 24-task problem, a mesh system, and
+// a round-robin clustering into dir, returning the three file paths.
+func writeInstance(t *testing.T, dir string) (probPath, sysPath, clusPath string) {
+	t.Helper()
+	prob, err := mimdmap.RandomProblem(mimdmap.RandomProblemConfig{
+		Tasks:         24,
+		EdgeProb:      0.12,
+		MinTaskSize:   1,
+		MaxTaskSize:   9,
+		MinEdgeWeight: 1,
+		MaxEdgeWeight: 4,
+		Connected:     true,
+	}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := mimdmap.Mesh(2, 3)
+	clus, err := mimdmap.RoundRobinClusterer.Cluster(prob, sys.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probPath = filepath.Join(dir, "prob.txt")
+	sysPath = filepath.Join(dir, "sys.txt")
+	clusPath = filepath.Join(dir, "clus.txt")
+	write := func(path string, emit func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := emit(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(probPath, func(f *os.File) error { return mimdmap.WriteProblem(f, prob) })
+	write(sysPath, func(f *os.File) error { return mimdmap.WriteSystem(f, sys) })
+	write(clusPath, func(f *os.File) error { return mimdmap.WriteClustering(f, clus) })
+	return probPath, sysPath, clusPath
+}
+
+func runMapper(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestMapperSmokeFromFiles(t *testing.T) {
+	prob, sys, clus := writeInstance(t, t.TempDir())
+	out := runMapper(t, "-prob", prob, "-sys", sys, "-clus", clus)
+	for _, want := range []string{"lower bound:", "final total time:", "optimal proven:", "mapping (cluster → processor):", "random mapping"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "multi-start:") {
+		t.Fatalf("single-start run printed the multi-start line:\n%s", out)
+	}
+}
+
+func TestMapperDeterministicOutput(t *testing.T) {
+	prob, _, _ := writeInstance(t, t.TempDir())
+	args := []string{"-prob", prob, "-topology", "mesh-2x3", "-clusterer", "random", "-seed", "5", "-gantt"}
+	first := runMapper(t, args...)
+	if second := runMapper(t, args...); second != first {
+		t.Fatalf("two identical invocations differ:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestMapperStartsAndWorkersFlags(t *testing.T) {
+	prob, sys, clus := writeInstance(t, t.TempDir())
+	out := runMapper(t, "-prob", prob, "-sys", sys, "-clus", clus, "-starts", "4", "-workers", "2")
+	if !strings.Contains(out, "multi-start:        best of 4 chains") {
+		t.Fatalf("-starts 4 did not engage multi-start:\n%s", out)
+	}
+}
+
+// TestMapperMultiStartNeverWorse parses nothing: it compares the reported
+// final time lines by rerunning with the same seed, where chain 0 of the
+// multi-start run replays the single-start refinement exactly.
+func TestMapperMultiStartNeverWorse(t *testing.T) {
+	prob, sys, clus := writeInstance(t, t.TempDir())
+	single := runMapper(t, "-prob", prob, "-sys", sys, "-clus", clus, "-random-trials", "0")
+	multi := runMapper(t, "-prob", prob, "-sys", sys, "-clus", clus, "-random-trials", "0", "-starts", "6")
+	get := func(out string) int {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "final total time:") {
+				var total int
+				if _, err := fmt.Sscanf(strings.TrimPrefix(line, "final total time:"), "%d", &total); err != nil {
+					t.Fatalf("unparseable line %q", line)
+				}
+				return total
+			}
+		}
+		t.Fatalf("no final-total-time line in:\n%s", out)
+		return 0
+	}
+	if s, m := get(single), get(multi); m > s {
+		t.Fatalf("multi-start total %d worse than single-start %d", m, s)
+	}
+}
+
+func TestMapperFlagErrors(t *testing.T) {
+	prob, sys, _ := writeInstance(t, t.TempDir())
+	var out strings.Builder
+	cases := [][]string{
+		{},                           // missing -prob
+		{"-prob", prob},              // missing -sys/-topology
+		{"-prob", prob, "-sys", sys}, // missing -clus/-clusterer
+		{"-prob", prob, "-sys", sys, "-clusterer", "nonsense"},            // unknown clusterer
+		{"-prob", prob, "-nope"},                                          // unknown flag
+		{"-prob", "/does/not/exist", "-sys", sys, "-clusterer", "random"}, // bad file
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module mimdmap
+
+go 1.22

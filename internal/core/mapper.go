@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -76,6 +77,19 @@ type Options struct {
 	// ideal graph a valid lower bound, so the termination condition stays
 	// sound.
 	Delays *paths.LinkDelays
+	// Starts is the number of independent refinement chains RunParallel
+	// runs from the (deterministic) initial assignment. 0 or 1 reproduce
+	// the paper's single sequential chain; chain 0 always consumes Rand,
+	// so Starts == 1 is bit-identical to Run. Ignored by Run itself.
+	Starts int
+	// Workers caps how many chains RunParallel executes concurrently;
+	// 0 means one per available CPU (runtime.GOMAXPROCS(0)).
+	Workers int
+	// Seed is the root from which chains beyond the first derive their
+	// generators (parallel.DeriveSeed(Seed, chain)). 0 means 1. Chain 0
+	// uses Rand, keeping single-start runs identical to the sequential
+	// path regardless of Seed.
+	Seed int64
 }
 
 // Result is the outcome of a mapping run.
@@ -109,6 +123,10 @@ type Result struct {
 	Ideal *ideal.Graph
 	// Critical is the critical-edge analysis that guided the placement.
 	Critical *critical.Analysis
+	// Chain is the index of the refinement chain that produced this result
+	// (always 0 for sequential runs; see RunParallel). Refinements,
+	// Improved and Trials describe that winning chain only.
+	Chain int
 }
 
 // Mapper maps one clustered problem graph onto one system graph. Build it
@@ -181,6 +199,26 @@ func (m *Mapper) Dist() *paths.Table { return m.dist }
 // Run executes the full strategy: derive the ideal graph and lower bound,
 // analyse critical edges, build the initial assignment, then refine.
 func (m *Mapper) Run() (*Result, error) {
+	return m.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: if ctx is cancelled mid-refinement
+// the best assignment found so far is returned (the initial-assignment and
+// analysis phases always run to completion). ctx does not influence the
+// refinement's random stream, so an uncancelled RunContext equals Run.
+func (m *Mapper) RunContext(ctx context.Context) (*Result, error) {
+	res, err := m.analyse()
+	if err != nil || res.OptimalProven {
+		return res, err
+	}
+	m.refine(ctx, m.opts.Rand, res)
+	return res, nil
+}
+
+// analyse runs everything before refinement: ideal graph, critical edges,
+// initial assignment, and the pre-refinement termination check. The result
+// is the common starting state of every refinement chain.
+func (m *Mapper) analyse() (*Result, error) {
 	ig, err := ideal.Derive(m.prob, m.clus)
 	if err != nil {
 		return nil, err
@@ -197,17 +235,15 @@ func (m *Mapper) Run() (*Result, error) {
 	}
 	res.TotalTime = m.eval.TotalTime(assign)
 	res.InitialTotalTime = res.TotalTime
-
 	if !m.opts.DisableTermination && res.TotalTime == res.LowerBound {
 		res.OptimalProven = true
-		return res, nil
 	}
-	m.refine(res)
 	return res, nil
 }
 
-// refine performs the §4.3.3 random-change refinement in place on res.
-func (m *Mapper) refine(res *Result) {
+// refine performs the §4.3.3 random-change refinement in place on res,
+// drawing moves from rng and stopping early when ctx is cancelled.
+func (m *Mapper) refine(ctx context.Context, rng *rand.Rand, res *Result) {
 	budget := m.opts.MaxRefinements
 	if budget == 0 {
 		budget = m.sys.NumNodes()
@@ -230,18 +266,21 @@ func (m *Mapper) refine(res *Result) {
 	current := res.Assignment
 	trial := current.Clone()
 	for t := 0; t < budget; t++ {
+		if ctx.Err() != nil {
+			break
+		}
 		res.Refinements++
 		switch m.opts.Move {
 		case FullReshuffle:
 			// Random permutation of the free processors among the free
 			// clusters — the literal §4.3.3 step 4(a).
-			perm := m.opts.Rand.Perm(len(freeProcs))
+			perm := rng.Perm(len(freeProcs))
 			for i, k := range freeClusters {
 				trial.ProcOf[k] = freeProcs[perm[i]]
 			}
 		default: // RandomSwap
-			i := m.opts.Rand.Intn(len(freeClusters))
-			j := m.opts.Rand.Intn(len(freeClusters) - 1)
+			i := rng.Intn(len(freeClusters))
+			j := rng.Intn(len(freeClusters) - 1)
 			if j >= i {
 				j++
 			}

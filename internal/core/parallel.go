@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+
+	"mimdmap/internal/graph"
+	"mimdmap/internal/parallel"
+)
+
+// RunParallel executes the strategy with Options.Starts independent
+// refinement chains. The analysis phase (ideal graph, critical edges,
+// initial assignment) runs once; every chain then refines its own copy of
+// the initial assignment with its own generator — chain 0 consumes
+// Options.Rand exactly as the sequential path would, chains i > 0 use
+// generators seeded with parallel.DeriveSeed(Options.Seed, i). At most
+// Options.Workers chains run at once. The best result wins; on equal total
+// times the lowest chain index is preferred.
+//
+// The moment any chain reaches the ideal-graph lower bound, Theorem 3
+// proves its assignment optimal, so all other chains are cancelled
+// (unless Options.DisableTermination is set).
+//
+// Determinism: TotalTime, LowerBound, InitialTotalTime and OptimalProven
+// are reproducible for fixed options at any worker count — early
+// cancellation only ever fires on a provably optimal chain, so it cannot
+// change the winning total time, only which optimal assignment is
+// returned. With Starts <= 1 the run is bit-identical to Run, and with
+// DisableTermination no cancellation occurs, making the entire Result
+// deterministic. Cancelling ctx stops refinement early and returns the
+// best assignment found so far, never an error.
+func (m *Mapper) RunParallel(ctx context.Context) (*Result, error) {
+	starts := m.opts.Starts
+	if starts <= 1 {
+		return m.RunContext(ctx)
+	}
+	base, err := m.analyse()
+	if err != nil || base.OptimalProven {
+		return base, err
+	}
+	seed := m.opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*Result, starts)
+	// Chains never return an error, so ForEach can only report a
+	// cancellation — either ours (a chain proved optimality) or the
+	// caller's; both leave the best-so-far selection below valid.
+	_ = parallel.ForEach(cctx, starts, m.opts.Workers, func(chainCtx context.Context, i int) error {
+		res := &Result{
+			Assignment:       base.Assignment.Clone(),
+			TotalTime:        base.TotalTime,
+			LowerBound:       base.LowerBound,
+			InitialTotalTime: base.InitialTotalTime,
+			FrozenClusters:   base.FrozenClusters,
+			Ideal:            base.Ideal,
+			Critical:         base.Critical,
+			Chain:            i,
+		}
+		rng := m.opts.Rand
+		if i > 0 {
+			rng = rand.New(rand.NewSource(parallel.DeriveSeed(seed, i)))
+		}
+		m.refine(chainCtx, rng, res)
+		results[i] = res
+		if res.OptimalProven && !m.opts.DisableTermination {
+			cancel()
+		}
+		return nil
+	})
+	var best *Result
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if best == nil || r.TotalTime < best.TotalTime {
+			best = r
+		}
+	}
+	if best == nil {
+		// ctx was cancelled before any chain ran: the initial assignment
+		// is still a complete, valid mapping.
+		best = base
+	}
+	return best, nil
+}
+
+// MapParallel is the multi-start entry point: it validates the inputs and
+// runs opts.Starts concurrent refinement chains (see Mapper.RunParallel).
+// With opts.Starts <= 1 it is equivalent to building a Mapper and calling
+// Run, so callers can thread a Starts option through unconditionally.
+func MapParallel(ctx context.Context, p *graph.Problem, c *graph.Clustering, s *graph.System, opts Options) (*Result, error) {
+	m, err := New(p, c, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunParallel(ctx)
+}

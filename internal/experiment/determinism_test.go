@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The engine's headline guarantee: fanning the paper's experiments out
+// across workers never changes a byte of output. These tests render the
+// full report text (tables plus histograms) at 1, 4 and 8 workers and
+// demand identity with the sequential run.
+
+func renderTable(t *testing.T, run func(Config) (*TableResult, error), cfg Config) string {
+	t.Helper()
+	res, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := res.ImprovementRange()
+	return res.Render() + res.Histogram() + fmt.Sprintf("range %.2f-%.2f atbound %d", lo, hi, res.AtBound)
+}
+
+func TestTable2ByteIdenticalAcrossWorkers(t *testing.T) {
+	cfg := Config{RandomTrials: 3}
+	cfg.Workers = 1
+	want := renderTable(t, Table2, cfg)
+	for _, workers := range []int{4, 8} {
+		cfg.Workers = workers
+		if got := renderTable(t, Table2, cfg); got != want {
+			t.Fatalf("Table2 output at %d workers differs from sequential:\n--- sequential ---\n%s\n--- %d workers ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+func TestTable1AndTable3ByteIdenticalAcrossWorkers(t *testing.T) {
+	for name, run := range map[string]func(Config) (*TableResult, error){
+		"Table1": Table1,
+		"Table3": Table3,
+	} {
+		cfg := Config{RandomTrials: 2}
+		cfg.Workers = 1
+		want := renderTable(t, run, cfg)
+		cfg.Workers = 8
+		if got := renderTable(t, run, cfg); got != want {
+			t.Fatalf("%s output at 8 workers differs from sequential", name)
+		}
+	}
+}
+
+func TestSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	points := []SweepPoint{
+		{TaskSizeMax: 20, EdgeWeightMax: 5, EdgeFactor: 3},
+		{TaskSizeMax: 10, EdgeWeightMax: 10, EdgeFactor: 3},
+	}
+	render := func(workers int) string {
+		rows, err := Sweep(Config{RandomTrials: 2, Workers: workers}, points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", rows)
+	}
+	want := render(1)
+	for _, workers := range []int{4, 8} {
+		if got := render(workers); got != want {
+			t.Fatalf("Sweep rows at %d workers differ from sequential:\n%s\nvs\n%s", workers, want, got)
+		}
+	}
+}
+
+func TestExtensionsDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{RandomTrials: 2}
+	render := func(workers int) string {
+		c := cfg
+		c.Workers = workers
+		hetero, err := HeteroLinks(c, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clus, err := CompareClusterers(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v\n%+v", hetero, clus)
+	}
+	want := render(1)
+	if got := render(8); got != want {
+		t.Fatalf("extension rows at 8 workers differ from sequential:\n%s\nvs\n%s", want, got)
+	}
+}
+
+// TestTable2MultiStartDeterministicAcrossWorkers checks the multi-start
+// mode's contract at the table level: total-time-derived columns are
+// reproducible at any worker count (the Refines column is excluded — under
+// early cancellation the winning chain, and hence its trial count, may
+// legitimately vary).
+func TestTable2MultiStartDeterministicAcrossWorkers(t *testing.T) {
+	summarise := func(workers int) string {
+		res, err := Table2(Config{RandomTrials: 2, Workers: workers, Starts: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, r := range res.Rows {
+			out += fmt.Sprintf("%d %s %d %d %d %d %.3f %v\n",
+				r.Exp, r.Topology, r.NP, r.NS, r.Bound, r.OursTime, r.RandomAvg, r.AtBound)
+		}
+		return out
+	}
+	want := summarise(1)
+	for _, workers := range []int{4, 8} {
+		if got := summarise(workers); got != want {
+			t.Fatalf("multi-start Table2 at %d workers differs:\n%s\nvs\n%s", workers, want, got)
+		}
+	}
+}
+
+// TestTable2MultiStartNeverWorse: with extra refinement chains the per-row
+// result can only improve on (or match) the single-chain run.
+func TestTable2MultiStartNeverWorse(t *testing.T) {
+	single, err := Table2(Config{RandomTrials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Table2(Config{RandomTrials: 2, Starts: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range single.Rows {
+		if multi.Rows[i].OursTime > single.Rows[i].OursTime {
+			t.Fatalf("exp %d: multi-start time %d worse than single-chain %d",
+				i+1, multi.Rows[i].OursTime, single.Rows[i].OursTime)
+		}
+	}
+	if multi.AtBound < single.AtBound {
+		t.Fatalf("multi-start at-bound count %d dropped below single-chain %d", multi.AtBound, single.AtBound)
+	}
+}

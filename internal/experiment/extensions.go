@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"mimdmap/internal/exact"
 	"mimdmap/internal/gen"
 	"mimdmap/internal/graph"
+	"mimdmap/internal/parallel"
 	"mimdmap/internal/schedule"
 	"mimdmap/internal/stats"
 	"mimdmap/internal/textplot"
@@ -43,6 +45,8 @@ func (r ExactGapRow) GapPct() float64 {
 
 // ExactGap runs heuristic-versus-optimal on small machines (ring, mesh,
 // hypercube, star, random; ns 4–8) where branch and bound is tractable.
+// The machines run concurrently under cfg.Workers; each derives its RNGs
+// from its own seed, so results do not depend on the worker count.
 func ExactGap(cfg Config) ([]ExactGapRow, error) {
 	cfg.defaults()
 	machines := []func(rng *rand.Rand) *graph.System{
@@ -55,58 +59,62 @@ func ExactGap(cfg Config) ([]ExactGapRow, error) {
 		func(*rand.Rand) *graph.System { return topology.Mesh(2, 4) },
 		func(rng *rand.Rand) *graph.System { return topology.Random(8, 0.15, rng) },
 	}
-	var rows []ExactGapRow
-	for i, build := range machines {
-		seed := cfg.MasterSeed + int64(i)*104729
-		sysRng := rand.New(rand.NewSource(seed))
-		genRng := rand.New(rand.NewSource(seed + 1))
-		clusRng := rand.New(rand.NewSource(seed + 2))
-		mapRng := rand.New(rand.NewSource(seed + 3))
-		randRng := rand.New(rand.NewSource(seed + 4))
+	return parallel.Map(context.Background(), len(machines), cfg.Workers,
+		func(ctx context.Context, i int) (ExactGapRow, error) {
+			seed := cfg.MasterSeed + int64(i)*104729
+			sysRng := rand.New(rand.NewSource(seed))
+			genRng := rand.New(rand.NewSource(seed + 1))
+			clusRng := rand.New(rand.NewSource(seed + 2))
+			mapRng := rand.New(rand.NewSource(seed + 3))
+			randRng := rand.New(rand.NewSource(seed + 4))
 
-		sys := build(sysRng)
-		ns := sys.NumNodes()
-		np := 30 + genRng.Intn(31)
-		prob, err := gen.Random(gen.RandomConfig{
-			Tasks:         np,
-			EdgeProb:      cfg.EdgeFactor / float64(np),
-			MinTaskSize:   1,
-			MaxTaskSize:   cfg.TaskSizeMax,
-			MinEdgeWeight: 1,
-			MaxEdgeWeight: cfg.EdgeWeightMax,
-			Connected:     true,
-		}, genRng)
-		if err != nil {
-			return nil, err
-		}
-		clus, err := (&cluster.Random{Rand: clusRng}).Cluster(prob, ns)
-		if err != nil {
-			return nil, err
-		}
-		m, err := core.New(prob, clus, sys, core.Options{Rand: mapRng})
-		if err != nil {
-			return nil, err
-		}
-		out, err := m.Run()
-		if err != nil {
-			return nil, err
-		}
-		ex := exact.Solve(m.Evaluator(), out.LowerBound, exact.Options{})
-		if !ex.Proven {
-			return nil, fmt.Errorf("exact solver did not prove optimality on experiment %d", i+1)
-		}
-		randomMean := 0.0
-		for t := 0; t < cfg.RandomTrials; t++ {
-			randomMean += float64(m.Evaluator().TotalTime(schedule.FromPerm(randRng.Perm(ns))))
-		}
-		randomMean /= float64(cfg.RandomTrials)
-		rows = append(rows, ExactGapRow{
-			Exp: i + 1, Topology: sys.Name, NP: np, NS: ns,
-			Bound: out.LowerBound, Optimum: ex.TotalTime,
-			Heuristic: out.TotalTime, RandomMean: randomMean, Nodes: ex.Nodes,
+			sys := machines[i](sysRng)
+			ns := sys.NumNodes()
+			np := 30 + genRng.Intn(31)
+			prob, err := gen.Random(gen.RandomConfig{
+				Tasks:         np,
+				EdgeProb:      cfg.EdgeFactor / float64(np),
+				MinTaskSize:   1,
+				MaxTaskSize:   cfg.TaskSizeMax,
+				MinEdgeWeight: 1,
+				MaxEdgeWeight: cfg.EdgeWeightMax,
+				Connected:     true,
+			}, genRng)
+			if err != nil {
+				return ExactGapRow{}, err
+			}
+			clus, err := (&cluster.Random{Rand: clusRng}).Cluster(prob, ns)
+			if err != nil {
+				return ExactGapRow{}, err
+			}
+			m, err := core.New(prob, clus, sys, core.Options{
+				Rand:    mapRng,
+				Starts:  cfg.Starts,
+				Workers: cfg.Workers,
+				Seed:    seed + 5,
+			})
+			if err != nil {
+				return ExactGapRow{}, err
+			}
+			out, err := m.RunParallel(ctx)
+			if err != nil {
+				return ExactGapRow{}, err
+			}
+			ex := exact.Solve(m.Evaluator(), out.LowerBound, exact.Options{})
+			if !ex.Proven {
+				return ExactGapRow{}, fmt.Errorf("exact solver did not prove optimality on experiment %d", i+1)
+			}
+			randomMean := 0.0
+			for t := 0; t < cfg.RandomTrials; t++ {
+				randomMean += float64(m.Evaluator().TotalTime(schedule.FromPerm(randRng.Perm(ns))))
+			}
+			randomMean /= float64(cfg.RandomTrials)
+			return ExactGapRow{
+				Exp: i + 1, Topology: sys.Name, NP: np, NS: ns,
+				Bound: out.LowerBound, Optimum: ex.TotalTime,
+				Heuristic: out.TotalTime, RandomMean: randomMean, Nodes: ex.Nodes,
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // ExactGapReport renders the heuristic-versus-optimal comparison.
@@ -172,39 +180,45 @@ func CompareClusterers(cfg Config) ([]ClustererRow, error) {
 		cluster.EdgeZeroing{},
 		cluster.DominantSequence{},
 	}
-	var rows []ClustererRow
-	for _, cl := range clusterers {
-		var pcts, times []float64
-		atBound := 0
-		for _, in := range instances {
-			clus, err := cl.Cluster(in.Prob, in.Sys.NumNodes())
-			if err != nil {
-				return nil, err
+	// One worker per clusterer: each clusterer instance owns its generator,
+	// and the instance loop below stays sequential so that generator's
+	// stream is consumed in a fixed order.
+	return parallel.Map(context.Background(), len(clusterers), cfg.Workers,
+		func(ctx context.Context, c int) (ClustererRow, error) {
+			cl := clusterers[c]
+			var pcts, times []float64
+			atBound := 0
+			for ii, in := range instances {
+				clus, err := cl.Cluster(in.Prob, in.Sys.NumNodes())
+				if err != nil {
+					return ClustererRow{}, err
+				}
+				m, err := core.New(in.Prob, clus, in.Sys, core.Options{
+					Rand:    rand.New(rand.NewSource(cfg.MasterSeed + 41)),
+					Starts:  cfg.Starts,
+					Workers: cfg.Workers,
+					Seed:    cfg.MasterSeed + 43 + 97*int64(ii),
+				})
+				if err != nil {
+					return ClustererRow{}, err
+				}
+				out, err := m.RunParallel(ctx)
+				if err != nil {
+					return ClustererRow{}, err
+				}
+				pcts = append(pcts, stats.PercentOver(out.LowerBound, float64(out.TotalTime)))
+				times = append(times, float64(out.TotalTime))
+				if out.OptimalProven {
+					atBound++
+				}
 			}
-			m, err := core.New(in.Prob, clus, in.Sys, core.Options{
-				Rand: rand.New(rand.NewSource(cfg.MasterSeed + 41)),
-			})
-			if err != nil {
-				return nil, err
-			}
-			out, err := m.Run()
-			if err != nil {
-				return nil, err
-			}
-			pcts = append(pcts, stats.PercentOver(out.LowerBound, float64(out.TotalTime)))
-			times = append(times, float64(out.TotalTime))
-			if out.OptimalProven {
-				atBound++
-			}
-		}
-		rows = append(rows, ClustererRow{
-			Clusterer: cl.Name(),
-			MeanPct:   stats.Mean(pcts),
-			MeanTime:  stats.Mean(times),
-			AtBound:   atBound,
+			return ClustererRow{
+				Clusterer: cl.Name(),
+				MeanPct:   stats.Mean(pcts),
+				MeanTime:  stats.Mean(times),
+				AtBound:   atBound,
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // CompareClusterersReport renders the clusterer comparison.

@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 
 	"mimdmap/internal/baseline"
 	"mimdmap/internal/core"
+	"mimdmap/internal/parallel"
 	"mimdmap/internal/paths"
 	"mimdmap/internal/stats"
 	"mimdmap/internal/textplot"
@@ -29,7 +31,9 @@ func (r HeteroRow) Improvement() float64 { return r.RandomPct - r.OursPct }
 
 // HeteroLinks re-runs the mesh workload on machines whose links have random
 // delay factors in [1, maxDelay] — the paper's homogeneous-links assumption
-// relaxed. The mapper is unchanged; only the distance table differs.
+// relaxed. The mapper is unchanged; only the distance table differs. The
+// instances run concurrently under cfg.Workers, each with its own seeded
+// generators, so the rows are identical at any worker count.
 func HeteroLinks(cfg Config, maxDelay int) ([]HeteroRow, error) {
 	cfg.defaults()
 	if maxDelay < 1 {
@@ -39,45 +43,48 @@ func HeteroLinks(cfg Config, maxDelay int) ([]HeteroRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []HeteroRow
-	for i, in := range instances {
-		seed := cfg.MasterSeed + int64(i)*15485863
-		delayRng := rand.New(rand.NewSource(seed))
-		mapRng := rand.New(rand.NewSource(seed + 1))
-		randRng := rand.New(rand.NewSource(seed + 2))
+	return parallel.Map(context.Background(), len(instances), cfg.Workers,
+		func(ctx context.Context, i int) (HeteroRow, error) {
+			in := instances[i]
+			seed := cfg.MasterSeed + int64(i)*15485863
+			delayRng := rand.New(rand.NewSource(seed))
+			mapRng := rand.New(rand.NewSource(seed + 1))
+			randRng := rand.New(rand.NewSource(seed + 2))
 
-		ns := in.Sys.NumNodes()
-		delays := paths.NewLinkDelays(ns)
-		for a := 0; a < ns; a++ {
-			for b := a + 1; b < ns; b++ {
-				if in.Sys.Adj[a][b] {
-					delays.Set(a, b, 1+delayRng.Intn(maxDelay))
+			ns := in.Sys.NumNodes()
+			delays := paths.NewLinkDelays(ns)
+			for a := 0; a < ns; a++ {
+				for b := a + 1; b < ns; b++ {
+					if in.Sys.Adj[a][b] {
+						delays.Set(a, b, 1+delayRng.Intn(maxDelay))
+					}
 				}
 			}
-		}
-		m, err := core.New(in.Prob, in.Clus, in.Sys, core.Options{
-			Rand:   mapRng,
-			Delays: delays,
+			m, err := core.New(in.Prob, in.Clus, in.Sys, core.Options{
+				Rand:    mapRng,
+				Delays:  delays,
+				Starts:  cfg.Starts,
+				Workers: cfg.Workers,
+				Seed:    seed + 3,
+			})
+			if err != nil {
+				return HeteroRow{}, err
+			}
+			out, err := m.RunParallel(ctx)
+			if err != nil {
+				return HeteroRow{}, err
+			}
+			randomMean, _, _ := baseline.RandomMapping(m.Evaluator(), cfg.RandomTrials, randRng)
+			return HeteroRow{
+				Exp:       i + 1,
+				Topology:  in.Sys.Name,
+				NS:        ns,
+				Bound:     out.LowerBound,
+				OursPct:   stats.PercentOver(out.LowerBound, float64(out.TotalTime)),
+				RandomPct: stats.PercentOver(out.LowerBound, randomMean),
+				AtBound:   out.OptimalProven,
+			}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		out, err := m.Run()
-		if err != nil {
-			return nil, err
-		}
-		randomMean, _, _ := baseline.RandomMapping(m.Evaluator(), cfg.RandomTrials, randRng)
-		rows = append(rows, HeteroRow{
-			Exp:       i + 1,
-			Topology:  in.Sys.Name,
-			NS:        ns,
-			Bound:     out.LowerBound,
-			OursPct:   stats.PercentOver(out.LowerBound, float64(out.TotalTime)),
-			RandomPct: stats.PercentOver(out.LowerBound, randomMean),
-			AtBound:   out.OptimalProven,
-		})
-	}
-	return rows, nil
 }
 
 // HeteroLinksReport renders the heterogeneous-link extension table.

@@ -36,7 +36,12 @@ func DefaultSweep() []SweepPoint {
 
 // Sweep reruns the Table 2 workload for every configuration, reporting the
 // ranges of ours/random percentages and improvements — the quantitative
-// background for the calibration discussion in EXPERIMENTS.md.
+// background for the calibration discussion in EXPERIMENTS.md. The points
+// run sequentially while each Table2 call inside fans its experiments out
+// across cfg.Workers, so the configured cap bounds the total concurrency
+// (nesting both levels would run up to Workers² experiments at once).
+// Every point derives its workload from the master seed alone, so the
+// sweep is byte-identical at any worker count.
 func Sweep(cfg Config, points []SweepPoint) ([]SweepRow, error) {
 	if len(points) == 0 {
 		points = DefaultSweep()

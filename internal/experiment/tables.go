@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -10,6 +11,7 @@ import (
 	"mimdmap/internal/critical"
 	"mimdmap/internal/gen"
 	"mimdmap/internal/graph"
+	"mimdmap/internal/parallel"
 	"mimdmap/internal/stats"
 	"mimdmap/internal/textplot"
 	"mimdmap/internal/topology"
@@ -42,6 +44,17 @@ type Config struct {
 	// experiment (np is clamped to the paper's [30,300] afterwards).
 	// Zeros mean [3,6].
 	TasksPerProcMin, TasksPerProcMax int
+	// Workers bounds how many experiments run concurrently; 0 means one
+	// worker per available CPU and 1 forces the fully sequential path.
+	// With Starts > 1 it also caps the refinement chains inside each
+	// mapping, so total concurrency never exceeds Workers². Every
+	// instance derives its RNGs from its own seed, so results are
+	// byte-identical at any worker count.
+	Workers int
+	// Starts is the number of concurrent multi-start refinement chains per
+	// mapping (core.Options.Starts). 0 or 1 reproduce the paper's single
+	// chain.
+	Starts int
 }
 
 func (c *Config) defaults() {
@@ -151,23 +164,32 @@ func buildInstance(cfg Config, i int, spec instanceSpec) (*Instance, error) {
 	return &Instance{Prob: prob, Clus: clus, Sys: sys, Seed: seed}, nil
 }
 
-// runTable generates and runs one experiment per spec.
+// runTable generates and runs one experiment per spec, fanning the
+// independent experiments out across cfg.Workers goroutines. Each instance
+// seeds its own RNGs from the master seed, so the resulting table is
+// byte-identical to the sequential run at any worker count.
 func runTable(cfg Config, name, figName string, specs []instanceSpec) (*TableResult, error) {
 	cfg.defaults()
-	res := &TableResult{Name: name, FigName: figName}
-	for i, spec := range specs {
-		in, err := buildInstance(cfg, i, spec)
-		if err != nil {
-			return nil, fmt.Errorf("experiment %d: %w", i+1, err)
-		}
-		mapRng := rand.New(rand.NewSource(in.Seed + 3))
-		randRng := rand.New(rand.NewSource(in.Seed + 4))
-		row, err := RunInstance(in.Prob, in.Clus, in.Sys, cfg, mapRng, randRng)
-		if err != nil {
-			return nil, fmt.Errorf("experiment %d: %w", i+1, err)
-		}
-		row.Exp = i + 1
-		res.Rows = append(res.Rows, row)
+	rows, err := parallel.Map(context.Background(), len(specs), cfg.Workers,
+		func(_ context.Context, i int) (Row, error) {
+			in, err := buildInstance(cfg, i, specs[i])
+			if err != nil {
+				return Row{}, fmt.Errorf("experiment %d: %w", i+1, err)
+			}
+			mapRng := rand.New(rand.NewSource(in.Seed + 3))
+			randRng := rand.New(rand.NewSource(in.Seed + 4))
+			row, err := RunInstance(in, cfg, mapRng, randRng)
+			if err != nil {
+				return Row{}, fmt.Errorf("experiment %d: %w", i+1, err)
+			}
+			row.Exp = i + 1
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &TableResult{Name: name, FigName: figName, Rows: rows}
+	for _, row := range rows {
 		if row.AtBound {
 			res.AtBound++
 		}
@@ -191,30 +213,33 @@ func meshSpecs() []instanceSpec {
 func MeshInstances(cfg Config) ([]*Instance, error) {
 	cfg.defaults()
 	specs := meshSpecs()
-	out := make([]*Instance, len(specs))
-	for i, spec := range specs {
-		in, err := buildInstance(cfg, i, spec)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = in
-	}
-	return out, nil
+	return parallel.Map(context.Background(), len(specs), cfg.Workers,
+		func(_ context.Context, i int) (*Instance, error) {
+			return buildInstance(cfg, i, specs[i])
+		})
 }
 
-// RunInstance maps one fully specified instance with our strategy and with
-// averaged random mappings, and returns the comparison row.
-func RunInstance(prob *graph.Problem, clus *graph.Clustering, sys *graph.System,
-	cfg Config, mapRng, randRng *rand.Rand) (Row, error) {
+// RunInstance maps one fully generated instance with our strategy and with
+// averaged random mappings, and returns the comparison row. With
+// cfg.Starts > 1 the mapping runs that many concurrent refinement chains
+// whose extra generators derive from the instance's own seed; chain 0
+// always consumes mapRng, so multi-start results are never worse than the
+// single-chain run on the same instance.
+func RunInstance(in *Instance, cfg Config, mapRng, randRng *rand.Rand) (Row, error) {
 	cfg.defaults()
-	m, err := core.New(prob, clus, sys, core.Options{
+	prob, clus, sys := in.Prob, in.Clus, in.Sys
+	opts := core.Options{
 		Propagation: cfg.Propagation,
 		Rand:        mapRng,
-	})
+		Starts:      cfg.Starts,
+		Workers:     cfg.Workers,
+		Seed:        in.Seed + 5,
+	}
+	m, err := core.New(prob, clus, sys, opts)
 	if err != nil {
 		return Row{}, err
 	}
-	out, err := m.Run()
+	out, err := m.RunParallel(context.Background())
 	if err != nil {
 		return Row{}, err
 	}

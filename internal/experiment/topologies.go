@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"mimdmap/internal/core"
 	"mimdmap/internal/gen"
 	"mimdmap/internal/graph"
+	"mimdmap/internal/parallel"
 	"mimdmap/internal/paths"
 	"mimdmap/internal/stats"
 	"mimdmap/internal/textplot"
@@ -80,40 +82,45 @@ func CompareTopologies(cfg Config, instances int) ([]TopoRow, error) {
 		insts = append(insts, inst{prob, clus})
 	}
 
-	var rows []TopoRow
-	for _, sys := range machines {
-		var ours, random []float64
-		atBound := 0
-		for i, in := range insts {
-			seed := cfg.MasterSeed + int64(i)*49979687
-			m, err := core.New(in.prob, in.clus, sys, core.Options{
-				Rand: rand.New(rand.NewSource(seed)),
-			})
-			if err != nil {
-				return nil, err
+	// The shared instances are read-only from here on; fan out over the
+	// machines, each mapping every instance with its own seeded RNGs.
+	return parallel.Map(context.Background(), len(machines), cfg.Workers,
+		func(ctx context.Context, mi int) (TopoRow, error) {
+			sys := machines[mi]
+			var ours, random []float64
+			atBound := 0
+			for i, in := range insts {
+				seed := cfg.MasterSeed + int64(i)*49979687
+				m, err := core.New(in.prob, in.clus, sys, core.Options{
+					Rand:    rand.New(rand.NewSource(seed)),
+					Starts:  cfg.Starts,
+					Workers: cfg.Workers,
+					Seed:    seed + 2,
+				})
+				if err != nil {
+					return TopoRow{}, err
+				}
+				out, err := m.RunParallel(ctx)
+				if err != nil {
+					return TopoRow{}, err
+				}
+				randomMean, _, _ := baseline.RandomMapping(m.Evaluator(), cfg.RandomTrials,
+					rand.New(rand.NewSource(seed+1)))
+				ours = append(ours, stats.PercentOver(out.LowerBound, float64(out.TotalTime)))
+				random = append(random, stats.PercentOver(out.LowerBound, randomMean))
+				if out.OptimalProven {
+					atBound++
+				}
 			}
-			out, err := m.Run()
-			if err != nil {
-				return nil, err
-			}
-			randomMean, _, _ := baseline.RandomMapping(m.Evaluator(), cfg.RandomTrials,
-				rand.New(rand.NewSource(seed+1)))
-			ours = append(ours, stats.PercentOver(out.LowerBound, float64(out.TotalTime)))
-			random = append(random, stats.PercentOver(out.LowerBound, randomMean))
-			if out.OptimalProven {
-				atBound++
-			}
-		}
-		rows = append(rows, TopoRow{
-			Topology:  sys.Name,
-			Links:     sys.NumLinks(),
-			Diameter:  paths.New(sys).Diameter(),
-			OursPct:   stats.Mean(ours),
-			RandomPct: stats.Mean(random),
-			AtBound:   atBound,
+			return TopoRow{
+				Topology:  sys.Name,
+				Links:     sys.NumLinks(),
+				Diameter:  paths.New(sys).Diameter(),
+				OursPct:   stats.Mean(ours),
+				RandomPct: stats.Mean(random),
+				AtBound:   atBound,
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // CompareTopologiesReport renders E16.

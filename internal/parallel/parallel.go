@@ -1,0 +1,136 @@
+// Package parallel is the bounded worker-pool engine shared by the
+// experiment harness and the multi-start mapper: it fans independent tasks
+// out across a fixed number of goroutines with ordered result collection,
+// context cancellation, and deterministic per-task RNG seed derivation.
+//
+// # Determinism contract
+//
+// ForEach and Map call fn exactly once per index and slot results by index,
+// so collected output never depends on goroutine scheduling. Tasks must be
+// independent: any randomness a task consumes should come from a generator
+// seeded with DeriveSeed(root, i), never from a generator shared between
+// tasks. Under that discipline a fan-out produces byte-identical output at
+// any worker count, including the sequential workers == 1 path.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: n <= 0 means one worker per
+// available CPU (runtime.GOMAXPROCS(0)); positive n is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// DeriveSeed returns the i-th child seed of root, using a splitmix64 mix so
+// that nearby roots and indices still yield decorrelated generator states.
+// It is the designated way to give each parallel task its own RNG:
+//
+//	rng := rand.New(rand.NewSource(parallel.DeriveSeed(rootSeed, i)))
+func DeriveSeed(root int64, i int) int64 {
+	z := uint64(root) + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// ForEach calls fn(ctx, i) for every i in [0, n), running at most
+// Workers(workers) calls concurrently. Indices are claimed in order from a
+// shared counter, so workers == 1 degenerates to a plain sequential loop.
+//
+// The context passed to fn is derived from ctx and is cancelled as soon as
+// any fn returns an error or ctx itself is cancelled; indices not yet
+// claimed at that point are skipped. ForEach returns the error of the
+// lowest-indexed failing task it observed, or ctx.Err() if the parent
+// context was cancelled, or nil once every index has completed.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || wctx.Err() != nil {
+					return
+				}
+				if err := fn(wctx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Map runs fn for every index like ForEach and collects the results in
+// index order, independent of completion order. On any error the partial
+// results are discarded and the error is returned as in ForEach.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

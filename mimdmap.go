@@ -46,6 +46,7 @@
 package mimdmap
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -146,6 +147,23 @@ func Map(p *Problem, c *Clustering, sys *System, opts *Options) (*Result, error)
 		return nil, err
 	}
 	return m.Run()
+}
+
+// MapParallel runs the strategy with opts.Starts independent refinement
+// chains racing concurrently from the same initial assignment (at most
+// opts.Workers at a time; 0 means one per CPU) and returns the best
+// mapping found. The moment any chain reaches the ideal-graph lower bound
+// the others are cancelled — Theorem 3 proves that chain's assignment
+// optimal. Chain 0 consumes opts.Rand exactly as Map would, so
+// opts.Starts <= 1 is bit-identical to Map; chains beyond the first derive
+// their generators from opts.Seed. Cancelling ctx returns the best
+// assignment found so far rather than an error.
+func MapParallel(ctx context.Context, p *Problem, c *Clustering, sys *System, opts *Options) (*Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	return core.MapParallel(ctx, p, c, sys, o)
 }
 
 // NewMapper validates the inputs and returns a reusable mapper, exposing

@@ -1,0 +1,71 @@
+package mimdmap_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"mimdmap"
+)
+
+func facadeInstance(t *testing.T) (*mimdmap.Problem, *mimdmap.Clustering, *mimdmap.System) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	prob, err := mimdmap.RandomProblem(mimdmap.RandomProblemConfig{
+		Tasks: 60, EdgeProb: 3.0 / 60, MinTaskSize: 1, MaxTaskSize: 8,
+		MinEdgeWeight: 1, MaxEdgeWeight: 6, Connected: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := mimdmap.Mesh(3, 4)
+	clus, err := mimdmap.RandomClusterer(rng).Cluster(prob, sys.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob, clus, sys
+}
+
+func TestMapParallelFacadeSingleStartEqualsMap(t *testing.T) {
+	prob, clus, sys := facadeInstance(t)
+	seq, err := mimdmap.Map(prob, clus, sys, &mimdmap.Options{Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := mimdmap.MapParallel(context.Background(), prob, clus, sys, &mimdmap.Options{
+		Rand: rand.New(rand.NewSource(4)), Starts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TotalTime != seq.TotalTime || !par.Assignment.Equal(seq.Assignment) {
+		t.Fatalf("MapParallel(Starts=1) diverged from Map: %d vs %d", par.TotalTime, seq.TotalTime)
+	}
+}
+
+func TestMapParallelFacadeMultiStart(t *testing.T) {
+	prob, clus, sys := facadeInstance(t)
+	seq, err := mimdmap.Map(prob, clus, sys, &mimdmap.Options{Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := mimdmap.MapParallel(context.Background(), prob, clus, sys, &mimdmap.Options{
+		Rand: rand.New(rand.NewSource(4)), Starts: 8, Workers: 4, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TotalTime > seq.TotalTime {
+		t.Fatalf("multi-start total %d worse than single-start %d", par.TotalTime, seq.TotalTime)
+	}
+	if par.TotalTime < par.LowerBound {
+		t.Fatalf("total %d below bound %d", par.TotalTime, par.LowerBound)
+	}
+	if err := par.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// nil options must also work (all defaults, single chain).
+	if _, err := mimdmap.MapParallel(context.Background(), prob, clus, sys, nil); err != nil {
+		t.Fatal(err)
+	}
+}
