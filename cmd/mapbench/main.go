@@ -16,7 +16,10 @@
 //
 // Independent experiments fan out across -workers goroutines; the output
 // is byte-identical at any worker count because every instance derives its
-// random streams from the master seed.
+// random streams from the master seed. The clusterer-comparison extension
+// covers every strategy in the shared clusterer registry
+// (mimdmap.ClustererNames), the same source of truth mapper, mapgen and
+// mapserve resolve names against.
 package main
 
 import (

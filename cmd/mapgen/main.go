@@ -9,8 +9,8 @@
 //	mapgen -cluster random -k 16 -in prob.txt               > clus.txt
 //
 // Problem kinds: random, layered, pipeline, forkjoin, butterfly, gauss,
-// wavefront, divideconquer. Cluster kinds: random, round-robin, blocks,
-// load-balance, edge-zeroing, dominant-sequence.
+// wavefront, divideconquer. Cluster kinds are the registered clusterer
+// names (mimdmap.ClustererNames), shared with cmd/mapper and mapserve.
 package main
 
 import (
@@ -27,7 +27,7 @@ func main() {
 		problem  = flag.String("problem", "", "emit a problem graph of this kind")
 		system   = flag.String("system", "", "emit a system graph (e.g. hypercube-4, mesh-3x5, random-12)")
 		clusterK = flag.Int("k", 0, "with -cluster: number of clusters")
-		clusters = flag.String("cluster", "", "emit a clustering of -in using this strategy")
+		clusters = flag.String("cluster", "", "emit a clustering of -in using one of: "+mimdmap.ClustererUsage())
 		in       = flag.String("in", "", "input problem file for -cluster (default stdin)")
 		seed     = flag.Int64("seed", 1, "random seed")
 
@@ -74,7 +74,7 @@ func main() {
 		if *clusterK <= 0 {
 			fail(fmt.Errorf("-cluster needs -k > 0"))
 		}
-		cl, err := clustererByName(*clusters, rng)
+		cl, err := mimdmap.ClustererByName(*clusters, rng)
 		if err != nil {
 			fail(err)
 		}
@@ -121,25 +121,6 @@ func buildProblem(kind string, rng *rand.Rand, p genParams) (*mimdmap.Problem, e
 		return mimdmap.DivideConquer(p.n, p.taskSize, p.commW)
 	default:
 		return nil, fmt.Errorf("mapgen: unknown problem kind %q", kind)
-	}
-}
-
-func clustererByName(name string, rng *rand.Rand) (mimdmap.Clusterer, error) {
-	switch name {
-	case "random":
-		return mimdmap.RandomClusterer(rng), nil
-	case "round-robin":
-		return mimdmap.RoundRobinClusterer, nil
-	case "blocks":
-		return mimdmap.BlocksClusterer, nil
-	case "load-balance":
-		return mimdmap.LoadBalanceClusterer, nil
-	case "edge-zeroing":
-		return mimdmap.EdgeZeroingClusterer, nil
-	case "dominant-sequence":
-		return mimdmap.DominantSequenceClusterer, nil
-	default:
-		return nil, fmt.Errorf("mapgen: unknown clusterer %q", name)
 	}
 }
 

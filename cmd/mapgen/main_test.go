@@ -3,6 +3,8 @@ package main
 import (
 	"math/rand"
 	"testing"
+
+	"mimdmap"
 )
 
 func TestBuildProblemKinds(t *testing.T) {
@@ -32,10 +34,13 @@ func TestBuildProblemKinds(t *testing.T) {
 	}
 }
 
-func TestClustererByName(t *testing.T) {
+// TestClustererRegistryCoversClassicNames guards the registry swap: mapgen
+// now resolves -cluster through mimdmap.ClustererByName, and every name the
+// CLI historically accepted must still resolve.
+func TestClustererRegistryCoversClassicNames(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, name := range []string{"random", "round-robin", "blocks", "load-balance", "edge-zeroing", "dominant-sequence"} {
-		cl, err := clustererByName(name, rng)
+		cl, err := mimdmap.ClustererByName(name, rng)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -43,7 +48,7 @@ func TestClustererByName(t *testing.T) {
 			t.Fatalf("clusterer %q reports name %q", name, cl.Name())
 		}
 	}
-	if _, err := clustererByName("nope", rng); err == nil {
+	if _, err := mimdmap.ClustererByName("nope", rng); err == nil {
 		t.Fatal("unknown clusterer accepted")
 	}
 }

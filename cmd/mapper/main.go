@@ -1,6 +1,7 @@
 // Command mapper maps a clustered problem graph onto a system graph with
 // the paper's strategy and prints the mapping, its schedule, and the
-// comparison against the lower bound and random placement.
+// comparison against the lower bound and random placement. It is a thin
+// shell over the Solver API: the flags build one mimdmap.Request.
 //
 // Usage:
 //
@@ -9,8 +10,11 @@
 //	mapper -prob prob.txt -topology ring-8 -clusterer edge-zeroing -gantt
 //	mapper -prob prob.txt -topology mesh-4x4 -clusterer random -starts 8 -workers 4
 //
-// Either -clus (a clustering file) or -clusterer (a strategy applied on the
-// fly) must be given; the cluster count always equals the machine size.
+// Either -clus (a clustering file) or -clusterer (a registered strategy
+// applied on the fly) must be given; the cluster count always equals the
+// machine size. -seed is the single root of every random stream — the
+// clusterer, random topologies, the refinement chains, and the comparison
+// trials all derive from it, so one seed reproduces the whole run.
 // -starts N refines N independent seeded chains concurrently and keeps the
 // best mapping; -workers caps the concurrency (0 = all CPUs).
 package main
@@ -48,8 +52,8 @@ func run(args []string, stdout io.Writer) error {
 		sysPath   = fs.String("sys", "", "system graph file")
 		topoSpec  = fs.String("topology", "", "alternatively, a topology spec like mesh-4x4")
 		clusPath  = fs.String("clus", "", "clustering file")
-		clusterer = fs.String("clusterer", "", "or cluster on the fly: random, round-robin, blocks, load-balance, edge-zeroing, dominant-sequence")
-		seed      = fs.Int64("seed", 1, "random seed for clustering/refinement")
+		clusterer = fs.String("clusterer", "", "or cluster on the fly: "+mimdmap.ClustererUsage())
+		seed      = fs.Int64("seed", 1, "root seed for every random stream: clustering, topology, refinement, trials")
 		refines   = fs.Int("refinements", 0, "refinement budget (0 = paper default of ns)")
 		full      = fs.Bool("full-propagation", false, "use full critical-edge propagation")
 		gantt     = fs.Bool("gantt", false, "print the execution chart")
@@ -63,7 +67,6 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return errUsage
 	}
-	rng := rand.New(rand.NewSource(*seed))
 
 	if *probPath == "" {
 		return fmt.Errorf("-prob is required")
@@ -72,39 +75,36 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-
-	var sys *mimdmap.System
-	switch {
-	case *sysPath != "":
-		sys, err = readFile(*sysPath, mimdmap.ReadSystem)
-	case *topoSpec != "":
-		sys, err = mimdmap.TopologyByName(*topoSpec, rng)
-	default:
-		err = fmt.Errorf("one of -sys or -topology is required")
+	req := &mimdmap.Request{
+		Problem:   prob,
+		Topology:  *topoSpec,
+		Clusterer: *clusterer,
+		Seed:      *seed,
 	}
-	if err != nil {
-		return err
-	}
-
-	clus, err := clusteringFor(prob, sys, *clusPath, *clusterer, rng)
-	if err != nil {
-		return err
-	}
-
-	opts := &mimdmap.Options{
-		MaxRefinements: *refines,
-		Rand:           rng,
-		Starts:         *starts,
-		Workers:        *workers,
-		Seed:           *seed,
-	}
+	req.Options.MaxRefinements = *refines
+	req.Options.Starts = *starts
+	req.Options.Workers = *workers
 	if *full {
-		opts.Propagation = mimdmap.FullPropagation
+		req.Options.Propagation = mimdmap.FullPropagation
 	}
-	res, err := mimdmap.MapParallel(context.Background(), prob, clus, sys, opts)
+	if *sysPath != "" {
+		if req.System, err = readFile(*sysPath, mimdmap.ReadSystem); err != nil {
+			return err
+		}
+		req.Topology = "" // an explicit -sys file wins, as it always has
+	}
+	if *clusPath != "" {
+		if req.Clustering, err = readFile(*clusPath, mimdmap.ReadClustering); err != nil {
+			return err
+		}
+		req.Clusterer = "" // an explicit -clus file wins, as it always has
+	}
+
+	resp, err := mimdmap.Solve(context.Background(), req)
 	if err != nil {
 		return err
 	}
+	res, sys, clus := resp.Result, resp.System, resp.Clustering
 
 	fmt.Fprintf(stdout, "problem: %d tasks, %d edges; machine: %s (%d nodes)\n",
 		prob.NumTasks(), prob.NumEdges(), sys.Name, sys.NumNodes())
@@ -118,49 +118,23 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "optimal proven:     %v\n", res.OptimalProven)
 	fmt.Fprintf(stdout, "mapping (cluster → processor): %v\n", res.Assignment.ProcOf)
 
-	eval, err := mimdmap.NewEvaluator(prob, clus, sys)
-	if err != nil {
-		return err
-	}
 	if *trials > 0 {
+		eval, err := mimdmap.NewEvaluator(prob, clus, sys)
+		if err != nil {
+			return err
+		}
+		// The comparison trials draw from their own stream of the root seed
+		// so they never perturb (or depend on) the refinement's draws.
+		rng := rand.New(rand.NewSource(*seed ^ 0x74726961)) // "tria"
 		mean, _, best := mimdmap.RandomMapping(eval, *trials, rng)
 		fmt.Fprintf(stdout, "random mapping (%d trials): mean %.0f (%.1f%%), best %d\n",
 			*trials, mean, 100*mean/float64(res.LowerBound), best)
 	}
 	if *gantt {
 		fmt.Fprintln(stdout)
-		fmt.Fprintln(stdout, mimdmap.RenderGantt(eval.Evaluate(res.Assignment), clus, res.Assignment, sys.NumNodes()))
+		fmt.Fprintln(stdout, mimdmap.RenderGantt(resp.Schedule, clus, res.Assignment, sys.NumNodes()))
 	}
 	return nil
-}
-
-// clusteringFor resolves the -clus / -clusterer choice.
-func clusteringFor(prob *mimdmap.Problem, sys *mimdmap.System, clusPath, clusterer string, rng *rand.Rand) (*mimdmap.Clustering, error) {
-	switch {
-	case clusPath != "":
-		return readFile(clusPath, mimdmap.ReadClustering)
-	case clusterer != "":
-		var cl mimdmap.Clusterer
-		switch clusterer {
-		case "random":
-			cl = mimdmap.RandomClusterer(rng)
-		case "round-robin":
-			cl = mimdmap.RoundRobinClusterer
-		case "blocks":
-			cl = mimdmap.BlocksClusterer
-		case "load-balance":
-			cl = mimdmap.LoadBalanceClusterer
-		case "edge-zeroing":
-			cl = mimdmap.EdgeZeroingClusterer
-		case "dominant-sequence":
-			cl = mimdmap.DominantSequenceClusterer
-		default:
-			return nil, fmt.Errorf("unknown clusterer %q", clusterer)
-		}
-		return cl.Cluster(prob, sys.NumNodes())
-	default:
-		return nil, fmt.Errorf("one of -clus or -clusterer is required")
-	}
 }
 
 func readFile[T any](path string, read func(r io.Reader) (T, error)) (T, error) {

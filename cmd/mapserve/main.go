@@ -1,0 +1,287 @@
+// Command mapserve serves the mapping strategy over HTTP — the first
+// serving scenario of the context-first Solver API. A long-running process
+// fields POST /solve requests (problem + machine + clustering strategy as
+// JSON), solves them with one shared mimdmap.Solver whose distance-table
+// cache amortises repeated requests against the same machine, and answers
+// with the mapping, its schedule, and the optimality verdict.
+//
+// Usage:
+//
+//	mapserve                          # listen on :8080
+//	mapserve -addr :9090 -max-concurrent 16
+//
+// Endpoints:
+//
+//	POST /solve    solve one mapping request (JSON in, JSON out)
+//	GET  /healthz  liveness probe
+//
+// A request names the machine either by topology spec or by a system graph
+// in the text format of the cmd tools, and the clustering either by
+// registered clusterer name or as a clustering file body:
+//
+//	{"problem": "...", "topology": "mesh-4x4", "clusterer": "random",
+//	 "seed": 7, "starts": 4}
+//
+// Responses carry only deterministic fields — wall-clock timing travels in
+// the X-Solve-Duration header so it never perturbs the payload. Totals,
+// bound, and the optimality verdict are reproducible for a fixed request
+// body; the full body is byte-identical across clients except in one
+// corner: a multi-start request ("starts" > 1) where several chains prove
+// optimality may return any of the proven-optimal assignments, since the
+// first chain to reach the lower bound cancels the rest.
+// Malformed requests (bad JSON, unknown names, invalid graphs) get 400;
+// at most -max-concurrent solves run at once, and extra requests queue
+// until a slot frees or the client gives up. SIGINT/SIGTERM drain in-flight
+// requests before exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mimdmap"
+)
+
+// errUsage signals that the flag package already printed the parse error
+// and usage; main must not report it a second time.
+var errUsage = errors.New("invalid arguments")
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "mapserve:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run parses args and serves until ctx is cancelled (the signal handler) or
+// the listener fails.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mapserve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		limit   = fs.Int("max-concurrent", 8, "max mapping requests solved at once (queued beyond that)")
+		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		workers = fs.Int("workers", 0, "max refinement chains per request (0 = all CPUs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+	if *limit <= 0 {
+		return fmt.Errorf("-max-concurrent must be positive, got %d", *limit)
+	}
+
+	server := &http.Server{
+		Addr:    *addr,
+		Handler: newHandler(mimdmap.NewSolver(0), *limit, *workers),
+		// A long-running public-facing process needs bounded reads: drop
+		// slowloris clients instead of accumulating their connections.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	fmt.Fprintf(stdout, "mapserve: listening on %s (max %d concurrent solves)\n", *addr, *limit)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "mapserve: draining...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "mapserve: bye")
+		return nil
+	}
+}
+
+// solveRequest is the wire form of one mapping request. Graphs travel in
+// the line-oriented text format shared with the cmd tools.
+type solveRequest struct {
+	// Problem is the task DAG, in text format. Required.
+	Problem string `json:"problem"`
+	// System (text format) or Topology (spec like "mesh-4x4") names the
+	// machine; exactly one must be set.
+	System   string `json:"system,omitempty"`
+	Topology string `json:"topology,omitempty"`
+	// Clustering (text format) or Clusterer (registered name) names the
+	// clustering step; exactly one must be set.
+	Clustering string `json:"clustering,omitempty"`
+	Clusterer  string `json:"clusterer,omitempty"`
+	// Seed drives every random stream of the request (0 = 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Starts races this many refinement chains (0 or 1 = single chain).
+	Starts int `json:"starts,omitempty"`
+	// Refinements bounds the refinement loop (0 = paper default of ns).
+	Refinements int `json:"refinements,omitempty"`
+	// FullPropagation selects the full critical-edge propagation mode.
+	FullPropagation bool `json:"full_propagation,omitempty"`
+}
+
+// solveResponse is the wire form of a solved mapping. It carries only
+// deterministic fields, so identical requests yield byte-identical bodies.
+type solveResponse struct {
+	Assignment       []int  `json:"assignment"`
+	TotalTime        int    `json:"total_time"`
+	LowerBound       int    `json:"lower_bound"`
+	InitialTotalTime int    `json:"initial_total_time"`
+	Refinements      int    `json:"refinements"`
+	Improved         int    `json:"improved"`
+	OptimalProven    bool   `json:"optimal_proven"`
+	Chain            int    `json:"chain"`
+	Machine          string `json:"machine,omitempty"`
+	Nodes            int    `json:"nodes"`
+	Clusterer        string `json:"clusterer,omitempty"`
+	Start            []int  `json:"start"`
+	End              []int  `json:"end"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBody bounds request bodies; the text graph formats are compact, so
+// 32 MiB covers problems far beyond what the mapper can chew anyway.
+const maxBody = 32 << 20
+
+// newHandler builds the server's routing: POST /solve behind a semaphore of
+// the given width, GET /healthz. Exposed for httptest.
+func newHandler(solver *mimdmap.Solver, limit, workers int) http.Handler {
+	sem := make(chan struct{}, limit)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		// Read and validate before taking a solve slot, so slow uploads and
+		// garbage requests never starve real solving work.
+		var wire solveRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&wire); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		req, err := toRequest(&wire, workers)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, "cancelled while queued")
+			return
+		}
+
+		began := time.Now()
+		resp, err := solver.Solve(r.Context(), req)
+		if err != nil {
+			var verr *mimdmap.ValidationError
+			if errors.As(err, &verr) {
+				writeError(w, http.StatusBadRequest, verr.Error())
+			} else {
+				writeError(w, http.StatusInternalServerError, err.Error())
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Solve-Duration", time.Since(began).String())
+		writeJSON(w, http.StatusOK, toWire(resp))
+	})
+	return mux
+}
+
+// toRequest converts the wire request into a solver request, parsing the
+// embedded text-format graphs.
+func toRequest(wire *solveRequest, workers int) (*mimdmap.Request, error) {
+	req := &mimdmap.Request{
+		Topology:  wire.Topology,
+		Clusterer: wire.Clusterer,
+		Seed:      wire.Seed,
+	}
+	req.Options.Starts = wire.Starts
+	req.Options.Workers = workers
+	req.Options.MaxRefinements = wire.Refinements
+	if wire.FullPropagation {
+		req.Options.Propagation = mimdmap.FullPropagation
+	}
+	if wire.Problem != "" {
+		p, err := mimdmap.ReadProblem(strings.NewReader(wire.Problem))
+		if err != nil {
+			return nil, fmt.Errorf("problem: %w", err)
+		}
+		req.Problem = p
+	}
+	if wire.System != "" {
+		s, err := mimdmap.ReadSystem(strings.NewReader(wire.System))
+		if err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+		req.System = s
+	}
+	if wire.Clustering != "" {
+		c, err := mimdmap.ReadClustering(strings.NewReader(wire.Clustering))
+		if err != nil {
+			return nil, fmt.Errorf("clustering: %w", err)
+		}
+		req.Clustering = c
+	}
+	return req, nil
+}
+
+// toWire projects a solver response onto the deterministic wire form.
+func toWire(resp *mimdmap.Response) *solveResponse {
+	return &solveResponse{
+		Assignment:       resp.Result.Assignment.ProcOf,
+		TotalTime:        resp.Result.TotalTime,
+		LowerBound:       resp.Result.LowerBound,
+		InitialTotalTime: resp.Result.InitialTotalTime,
+		Refinements:      resp.Result.Refinements,
+		Improved:         resp.Result.Improved,
+		OptimalProven:    resp.Result.OptimalProven,
+		Chain:            resp.Result.Chain,
+		Machine:          resp.Diagnostics.Machine,
+		Nodes:            resp.Diagnostics.Nodes,
+		Clusterer:        resp.Diagnostics.Clusterer,
+		Start:            resp.Schedule.Start,
+		End:              resp.Schedule.End,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, status, errorResponse{Error: msg})
+}

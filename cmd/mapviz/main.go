@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,113 +21,158 @@ import (
 	"mimdmap"
 )
 
+// errUsage signals that the flag package already printed the parse error
+// and usage; main must not report it a second time.
+var errUsage = errors.New("invalid arguments")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "mapviz:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run parses args and writes the requested rendering to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mapviz", flag.ContinueOnError)
 	var (
-		probPath = flag.String("prob", "", "problem graph file")
-		clusPath = flag.String("clus", "", "clustering file")
-		sysPath  = flag.String("sys", "", "system graph file")
-		topoSpec = flag.String("topology", "", "topology spec like mesh-4x4")
-		idealFig = flag.Bool("ideal", false, "render the ideal-graph timeline instead of a mapping")
-		stats    = flag.Bool("stats", false, "print machine statistics only")
-		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of text charts")
-		trace    = flag.Bool("trace", false, "also print the message trace of the mapping")
-		seed     = flag.Int64("seed", 1, "random seed")
+		probPath = fs.String("prob", "", "problem graph file")
+		clusPath = fs.String("clus", "", "clustering file")
+		sysPath  = fs.String("sys", "", "system graph file")
+		topoSpec = fs.String("topology", "", "topology spec like mesh-4x4")
+		idealFig = fs.Bool("ideal", false, "render the ideal-graph timeline instead of a mapping")
+		stats    = fs.Bool("stats", false, "print machine statistics only")
+		dot      = fs.Bool("dot", false, "emit Graphviz DOT instead of text charts")
+		trace    = fs.Bool("trace", false, "also print the message trace of the mapping")
+		seed     = fs.Int64("seed", 1, "root seed for random topologies and refinement")
 	)
-	flag.Parse()
-	rng := rand.New(rand.NewSource(*seed))
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return errUsage
+	}
 
 	var sys *mimdmap.System
 	var err error
-	switch {
-	case *sysPath != "":
-		sys, err = readFile(*sysPath, mimdmap.ReadSystem)
-	case *topoSpec != "":
-		sys, err = mimdmap.TopologyByName(*topoSpec, rng)
-	}
-	if err != nil {
-		fail(err)
+	if *sysPath != "" {
+		if sys, err = readFile(*sysPath, mimdmap.ReadSystem); err != nil {
+			return err
+		}
 	}
 
 	if *stats {
-		if sys == nil {
-			fail(fmt.Errorf("-stats needs -sys or -topology"))
+		if sys == nil && *topoSpec == "" {
+			return fmt.Errorf("-stats needs -sys or -topology")
 		}
-		printStats(sys)
-		return
+		if sys == nil {
+			if sys, err = resolveTopology(*topoSpec, *seed); err != nil {
+				return err
+			}
+		}
+		printStats(stdout, sys)
+		return nil
 	}
 
 	if *dot && *probPath == "" {
+		if sys == nil && *topoSpec == "" {
+			return fmt.Errorf("-dot needs -prob and/or -sys/-topology")
+		}
 		if sys == nil {
-			fail(fmt.Errorf("-dot needs -prob and/or -sys/-topology"))
+			if sys, err = resolveTopology(*topoSpec, *seed); err != nil {
+				return err
+			}
 		}
-		if err := mimdmap.WriteSystemDOT(os.Stdout, sys); err != nil {
-			fail(err)
-		}
-		return
+		return mimdmap.WriteSystemDOT(stdout, sys)
 	}
 
 	if *probPath == "" || *clusPath == "" {
-		fail(fmt.Errorf("-prob and -clus are required (or use -stats)"))
+		return fmt.Errorf("-prob and -clus are required (or use -stats)")
 	}
 	prob, err := readFile(*probPath, mimdmap.ReadProblem)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	clus, err := readFile(*clusPath, mimdmap.ReadClustering)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	if *dot {
-		if err := mimdmap.WriteProblemDOT(os.Stdout, prob, clus); err != nil {
-			fail(err)
-		}
-		if sys != nil {
-			if err := mimdmap.WriteSystemDOT(os.Stdout, sys); err != nil {
-				fail(err)
+		if sys == nil && *topoSpec != "" {
+			if sys, err = resolveTopology(*topoSpec, *seed); err != nil {
+				return err
 			}
 		}
-		return
+		if err := mimdmap.WriteProblemDOT(stdout, prob, clus); err != nil {
+			return err
+		}
+		if sys != nil {
+			return mimdmap.WriteSystemDOT(stdout, sys)
+		}
+		return nil
 	}
 
 	if *idealFig {
 		ig, err := mimdmap.DeriveIdeal(prob, clus)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		// Render the ideal timeline with cluster columns (Fig. 6 style).
 		identity := mimdmap.IdentityClustering(clus.K)
 		sched := &mimdmap.Schedule{Start: ig.Start, End: ig.End, TotalTime: ig.LowerBound}
-		fmt.Printf("ideal graph timeline (lower bound %d):\n", ig.LowerBound)
-		fmt.Println(mimdmap.RenderGantt(sched, clus, identityAssignment(identity.K), clus.K))
-		return
+		fmt.Fprintf(stdout, "ideal graph timeline (lower bound %d):\n", ig.LowerBound)
+		fmt.Fprintln(stdout, mimdmap.RenderGantt(sched, clus, identityAssignment(identity.K), clus.K))
+		return nil
 	}
 
+	if sys == nil && *topoSpec == "" {
+		return fmt.Errorf("-sys or -topology is required for mapping")
+	}
 	if sys == nil {
-		fail(fmt.Errorf("-sys or -topology is required for mapping"))
+		// Resolve the spec here, through the same path as -stats/-dot, so
+		// one -topology/-seed pair names one machine on every mapviz path
+		// (random-* specs included).
+		if sys, err = resolveTopology(*topoSpec, *seed); err != nil {
+			return err
+		}
 	}
-	res, err := mimdmap.Map(prob, clus, sys, &mimdmap.Options{Rand: rng})
+	resp, err := mimdmap.Solve(context.Background(), &mimdmap.Request{
+		Problem:    prob,
+		System:     sys,
+		Clustering: clus,
+		Seed:       *seed,
+	})
 	if err != nil {
-		fail(err)
+		return err
 	}
-	eval, err := mimdmap.NewEvaluator(prob, clus, sys)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("mapping %v — total time %d (bound %d, optimal proven %v)\n\n",
+	res := resp.Result
+	fmt.Fprintf(stdout, "mapping %v — total time %d (bound %d, optimal proven %v)\n\n",
 		res.Assignment.ProcOf, res.TotalTime, res.LowerBound, res.OptimalProven)
-	sched := eval.Evaluate(res.Assignment)
-	fmt.Println(mimdmap.RenderGantt(sched, clus, res.Assignment, sys.NumNodes()))
+	fmt.Fprintln(stdout, mimdmap.RenderGantt(resp.Schedule, clus, res.Assignment, resp.System.NumNodes()))
 	if *trace {
-		msgs := eval.Trace(res.Assignment, sched)
+		eval, err := mimdmap.NewEvaluator(prob, clus, resp.System)
+		if err != nil {
+			return err
+		}
+		msgs := eval.Trace(res.Assignment, resp.Schedule)
 		st := mimdmap.TraceMessageStats(msgs)
-		fmt.Printf("message trace (%d messages, volume %d, peak in flight %d):\n",
+		fmt.Fprintf(stdout, "message trace (%d messages, volume %d, peak in flight %d):\n",
 			st.Messages, st.Volume, st.PeakInFlight)
 		for _, m := range msgs {
-			fmt.Printf("  t%-3d→ t%-3d w=%-3d P%d→P%d dist %d  departs %d arrives %d\n",
+			fmt.Fprintf(stdout, "  t%-3d→ t%-3d w=%-3d P%d→P%d dist %d  departs %d arrives %d\n",
 				m.Src, m.Dst, m.Weight, m.FromProc, m.ToProc, m.Distance, m.Departure, m.Arrival)
 		}
 	}
+	return nil
+}
+
+// resolveTopology builds a machine from a spec for the non-mapping paths
+// (stats, DOT), where no Request is involved.
+func resolveTopology(spec string, seed int64) (*mimdmap.System, error) {
+	return mimdmap.TopologyByName(spec, rand.New(rand.NewSource(seed)))
 }
 
 func identityAssignment(k int) *mimdmap.Assignment {
@@ -136,7 +183,7 @@ func identityAssignment(k int) *mimdmap.Assignment {
 	return mimdmap.FromPerm(perm)
 }
 
-func printStats(sys *mimdmap.System) {
+func printStats(w io.Writer, sys *mimdmap.System) {
 	d := mimdmap.Distances(sys)
 	degrees := sys.Degrees()
 	minDeg, maxDeg := degrees[0], degrees[0]
@@ -148,13 +195,13 @@ func printStats(sys *mimdmap.System) {
 			maxDeg = deg
 		}
 	}
-	fmt.Printf("machine:   %s\n", sys.Name)
-	fmt.Printf("nodes:     %d\n", sys.NumNodes())
-	fmt.Printf("links:     %d\n", sys.NumLinks())
-	fmt.Printf("degree:    min %d, max %d\n", minDeg, maxDeg)
-	fmt.Printf("diameter:  %d\n", d.Diameter())
+	fmt.Fprintf(w, "machine:   %s\n", sys.Name)
+	fmt.Fprintf(w, "nodes:     %d\n", sys.NumNodes())
+	fmt.Fprintf(w, "links:     %d\n", sys.NumLinks())
+	fmt.Fprintf(w, "degree:    min %d, max %d\n", minDeg, maxDeg)
+	fmt.Fprintf(w, "diameter:  %d\n", d.Diameter())
 	if sys.NumNodes() > 1 {
-		fmt.Printf("mean dist: %.2f\n", d.MeanDistance())
+		fmt.Fprintf(w, "mean dist: %.2f\n", d.MeanDistance())
 	}
 }
 
@@ -166,9 +213,4 @@ func readFile[T any](path string, read func(r io.Reader) (T, error)) (T, error) 
 	}
 	defer f.Close()
 	return read(f)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mapviz:", err)
-	os.Exit(1)
 }

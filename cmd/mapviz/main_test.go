@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mimdmap"
+)
+
+// writeDiamond writes the repo's four-task diamond example and its identity
+// clustering into dir — a fixed instance whose mapping on the 4-ring is
+// provably optimal, so the rendered output is stable enough to pin.
+func writeDiamond(t *testing.T, dir string) (probPath, clusPath string) {
+	t.Helper()
+	prob := mimdmap.NewProblem(4)
+	prob.Size = []int{2, 1, 1, 2}
+	prob.SetEdge(0, 1, 3)
+	prob.SetEdge(0, 2, 1)
+	prob.SetEdge(1, 3, 2)
+	prob.SetEdge(2, 3, 4)
+	clus := mimdmap.IdentityClustering(4)
+
+	probPath = filepath.Join(dir, "prob.txt")
+	clusPath = filepath.Join(dir, "clus.txt")
+	write := func(path string, emit func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := emit(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(probPath, func(f *os.File) error { return mimdmap.WriteProblem(f, prob) })
+	write(clusPath, func(f *os.File) error { return mimdmap.WriteClustering(f, clus) })
+	return probPath, clusPath
+}
+
+func runMapviz(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestMapvizGoldenStats(t *testing.T) {
+	got := runMapviz(t, "-topology", "hypercube-3", "-stats")
+	want := `machine:   hypercube-3
+nodes:     8
+links:     12
+degree:    min 3, max 3
+diameter:  3
+mean dist: 1.71
+`
+	if got != want {
+		t.Fatalf("stats output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestMapvizGoldenMapping(t *testing.T) {
+	prob, clus := writeDiamond(t, t.TempDir())
+	got := runMapviz(t, "-prob", prob, "-clus", clus, "-topology", "ring-4")
+	for _, want := range []string{
+		"total time 10 (bound 10, optimal proven true)",
+		"time |",
+		"total time = 10",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("mapping output missing %q:\n%s", want, got)
+		}
+	}
+	if again := runMapviz(t, "-prob", prob, "-clus", clus, "-topology", "ring-4"); again != got {
+		t.Fatalf("two identical invocations differ:\n%s\nvs\n%s", got, again)
+	}
+}
+
+func TestMapvizGoldenIdeal(t *testing.T) {
+	prob, clus := writeDiamond(t, t.TempDir())
+	got := runMapviz(t, "-prob", prob, "-clus", clus, "-ideal")
+	if !strings.HasPrefix(got, "ideal graph timeline (lower bound 10):") {
+		t.Fatalf("ideal output missing bound header:\n%s", got)
+	}
+}
+
+func TestMapvizTraceListsMessages(t *testing.T) {
+	prob, clus := writeDiamond(t, t.TempDir())
+	got := runMapviz(t, "-prob", prob, "-clus", clus, "-topology", "ring-4", "-trace")
+	if !strings.Contains(got, "message trace (") {
+		t.Fatalf("trace output missing summary:\n%s", got)
+	}
+}
+
+func TestMapvizDotOutputs(t *testing.T) {
+	prob, clus := writeDiamond(t, t.TempDir())
+	got := runMapviz(t, "-prob", prob, "-clus", clus, "-topology", "ring-4", "-dot")
+	if !strings.Contains(got, "digraph problem {") {
+		t.Fatalf("problem DOT missing:\n%s", got)
+	}
+	if !strings.Contains(got, "graph system {") {
+		t.Fatalf("system DOT missing:\n%s", got)
+	}
+}
+
+func TestMapvizFlagErrors(t *testing.T) {
+	prob, clus := writeDiamond(t, t.TempDir())
+	var out strings.Builder
+	cases := [][]string{
+		{},                             // missing -prob/-clus
+		{"-stats"},                     // -stats without a machine
+		{"-prob", prob},                // missing -clus
+		{"-prob", prob, "-clus", clus}, // missing machine for mapping
+		{"-nope"},                      // unknown flag
+		{"-prob", "/does/not/exist", "-clus", clus, "-topology", "ring-4"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package mimdmap_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -30,6 +31,48 @@ func ExampleMap() {
 	// total: 10
 	// bound: 10
 	// optimal proven: true
+}
+
+func ExampleSolver_Solve() {
+	// The same diamond program, expressed as a declarative Request: the
+	// machine by topology spec, the clustering by registered strategy name,
+	// one seed for every random stream.
+	prob := mimdmap.NewProblem(4)
+	prob.Size = []int{2, 1, 1, 2}
+	prob.SetEdge(0, 1, 3)
+	prob.SetEdge(0, 2, 1)
+	prob.SetEdge(1, 3, 2)
+	prob.SetEdge(2, 3, 4)
+
+	solver := mimdmap.NewSolver(0)
+	req := &mimdmap.Request{
+		Problem:   prob,
+		Topology:  "ring-4",
+		Clusterer: "round-robin", // 4 tasks on 4 processors: the identity clustering
+		Seed:      1,
+	}
+	resp, err := solver.Solve(context.Background(), req)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("machine:", resp.Diagnostics.Machine)
+	fmt.Println("clusterer:", resp.Diagnostics.Clusterer)
+	fmt.Println("total:", resp.Result.TotalTime)
+	fmt.Println("optimal proven:", resp.Result.OptimalProven)
+
+	// A long-lived solver caches the machine: the second request reuses
+	// the ring's shortest-path table.
+	again, err := solver.Solve(context.Background(), req)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("distance table cached:", again.Diagnostics.DistanceCached)
+	// Output:
+	// machine: ring-4
+	// clusterer: round-robin
+	// total: 10
+	// optimal proven: true
+	// distance table cached: true
 }
 
 func ExampleDeriveIdeal() {

@@ -1,12 +1,19 @@
 // Quickstart: map a four-task diamond program onto a four-processor ring
 // and print the mapping, its schedule, and the optimality verdict.
 //
+// The run is expressed through the context-first Solver API: a Request
+// names the problem, the machine (here by topology spec), the clustering,
+// and one seed; the Response carries the result, the evaluated schedule,
+// and diagnostics. The classic mimdmap.Map call is a thin wrapper over
+// exactly this path.
+//
 // Run with:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,25 +31,25 @@ func main() {
 	prob.SetEdge(1, 3, 2)
 	prob.SetEdge(2, 3, 4)
 
-	// The machine: four processors in a ring. With as many tasks as
-	// processors, each task is its own cluster.
-	sys := mimdmap.Ring(4)
-	clus := mimdmap.IdentityClustering(4)
-
-	res, err := mimdmap.Map(prob, clus, sys, nil)
+	// The machine and clustering are named declaratively: four processors
+	// in a ring, each task its own cluster (np == ns).
+	resp, err := mimdmap.Solve(context.Background(), &mimdmap.Request{
+		Problem:    prob,
+		Topology:   "ring-4",
+		Clustering: mimdmap.IdentityClustering(4),
+		Seed:       1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := resp.Result
 
+	fmt.Printf("machine: %s (%d nodes)\n", resp.Diagnostics.Machine, resp.Diagnostics.Nodes)
 	fmt.Printf("lower bound (ideal graph): %d time units\n", res.LowerBound)
 	fmt.Printf("mapping (cluster → processor): %v\n", res.Assignment.ProcOf)
 	fmt.Printf("total time: %d, provably optimal: %v\n\n", res.TotalTime, res.OptimalProven)
 
-	// Show the schedule as a processors × time chart.
-	eval, err := mimdmap.NewEvaluator(prob, clus, sys)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sched := eval.Evaluate(res.Assignment)
-	fmt.Println(mimdmap.RenderGantt(sched, clus, res.Assignment, sys.NumNodes()))
+	// The Response already carries the evaluated schedule — show it as a
+	// processors × time chart.
+	fmt.Println(mimdmap.RenderGantt(resp.Schedule, resp.Clustering, res.Assignment, resp.Diagnostics.Nodes))
 }

@@ -77,6 +77,12 @@ type Options struct {
 	// ideal graph a valid lower bound, so the termination condition stays
 	// sound.
 	Delays *paths.LinkDelays
+	// Dist optionally supplies a precomputed shortest-path table for the
+	// system graph, letting callers that map many problems onto one machine
+	// (the service-layer solver) amortise paths.New. It must have been
+	// computed from the same system graph; New rejects a size mismatch.
+	// Ignored when Delays is set, because weighted tables are delay-specific.
+	Dist *paths.Table
 	// Starts is the number of independent refinement chains RunParallel
 	// runs from the (deterministic) initial assignment. 0 or 1 reproduce
 	// the paper's single sequential chain; chain 0 always consumes Rand,
@@ -165,13 +171,19 @@ func New(p *graph.Problem, c *graph.Clustering, s *graph.System, opts Options) (
 		opts.Rand = rand.New(rand.NewSource(1))
 	}
 	var dist *paths.Table
-	if opts.Delays != nil {
+	switch {
+	case opts.Delays != nil:
 		var derr error
 		dist, derr = paths.NewWeighted(s, opts.Delays)
 		if derr != nil {
 			return nil, derr
 		}
-	} else {
+	case opts.Dist != nil:
+		if opts.Dist.NumNodes() != s.NumNodes() {
+			return nil, fmt.Errorf("core: distance table covers %d nodes, system has %d", opts.Dist.NumNodes(), s.NumNodes())
+		}
+		dist = opts.Dist
+	default:
 		dist = paths.New(s)
 	}
 	eval, err := schedule.NewEvaluator(p, c, dist)

@@ -8,6 +8,7 @@ import (
 
 	"mimdmap/internal/critical"
 	"mimdmap/internal/graph"
+	"mimdmap/internal/paths"
 	"mimdmap/internal/topology"
 )
 
@@ -366,6 +367,37 @@ func TestRecordTrials(t *testing.T) {
 	}
 	if best != res.TotalTime {
 		t.Fatalf("best trial %d ≠ final total %d", best, res.TotalTime)
+	}
+}
+
+func TestPrecomputedDistTableMatchesFreshOne(t *testing.T) {
+	p, c, s := runningInstance()
+	fresh, err := New(p, c, s, Options{Rand: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := New(p, c, s, Options{Rand: rand.New(rand.NewSource(3)), Dist: paths.New(s)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reused.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Assignment.Equal(want.Assignment) || got.TotalTime != want.TotalTime {
+		t.Fatalf("precomputed table changed the run: %v/%d vs %v/%d",
+			got.Assignment.ProcOf, got.TotalTime, want.Assignment.ProcOf, want.TotalTime)
+	}
+}
+
+func TestMismatchedDistTableRejected(t *testing.T) {
+	p, c, s := runningInstance()
+	if _, err := New(p, c, s, Options{Dist: paths.New(topology.Ring(5))}); err == nil {
+		t.Fatal("5-node table accepted for a 4-node machine")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"mimdmap/internal/graph"
 	"mimdmap/internal/parallel"
 	"mimdmap/internal/schedule"
+	"mimdmap/internal/service"
 	"mimdmap/internal/stats"
 	"mimdmap/internal/textplot"
 	"mimdmap/internal/topology"
@@ -172,13 +173,18 @@ func CompareClusterers(cfg Config) ([]ClustererRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	clusterers := []cluster.Clusterer{
-		&cluster.Random{Rand: rand.New(rand.NewSource(cfg.MasterSeed))},
-		cluster.RoundRobin{},
-		cluster.Blocks{},
-		cluster.LoadBalance{},
-		cluster.EdgeZeroing{},
-		cluster.DominantSequence{},
+	// Every registered strategy competes — the registry is the single
+	// source of truth for what "every clusterer" means, shared with the
+	// CLIs and the server. Each instance owns a generator seeded from the
+	// master seed, so randomised strategies stay deterministic.
+	names := service.ClustererNames()
+	clusterers := make([]cluster.Clusterer, 0, len(names))
+	for _, name := range names {
+		cl, err := service.ClustererByName(name, rand.New(rand.NewSource(cfg.MasterSeed)))
+		if err != nil {
+			return nil, err
+		}
+		clusterers = append(clusterers, cl)
 	}
 	// One worker per clusterer: each clusterer instance owns its generator,
 	// and the instance loop below stays sequential so that generator's

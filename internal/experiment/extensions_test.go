@@ -47,8 +47,9 @@ func TestCompareClusterersInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
-		t.Fatalf("rows = %d, want 6", len(rows))
+	// One row per registered strategy — at least the six built-ins.
+	if len(rows) < 6 {
+		t.Fatalf("rows = %d, want >= 6", len(rows))
 	}
 	names := map[string]bool{}
 	for _, r := range rows {

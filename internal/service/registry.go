@@ -1,0 +1,99 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"mimdmap/internal/cluster"
+)
+
+// ClustererFactory builds a clusterer instance. Strategies that draw
+// randomness (the paper's random clustering program) consume rng; the
+// deterministic strategies ignore it. rng may be nil, in which case random
+// strategies fall back to their own fixed default seed.
+type ClustererFactory func(rng *rand.Rand) cluster.Clusterer
+
+// registry is the process-wide name→clusterer table. The built-in
+// strategies are registered at init; RegisterClusterer adds more. A single
+// registry — rather than a string switch per CLI — keeps every tool, the
+// server, and the flag help text in agreement about which names exist.
+var registry = struct {
+	sync.RWMutex
+	factories map[string]ClustererFactory
+}{factories: map[string]ClustererFactory{}}
+
+func init() {
+	// The built-in strategies, under the names the CLIs have always used.
+	MustRegisterClusterer("random", func(rng *rand.Rand) cluster.Clusterer { return &cluster.Random{Rand: rng} })
+	MustRegisterClusterer("round-robin", func(*rand.Rand) cluster.Clusterer { return cluster.RoundRobin{} })
+	MustRegisterClusterer("blocks", func(*rand.Rand) cluster.Clusterer { return cluster.Blocks{} })
+	MustRegisterClusterer("load-balance", func(*rand.Rand) cluster.Clusterer { return cluster.LoadBalance{} })
+	MustRegisterClusterer("edge-zeroing", func(*rand.Rand) cluster.Clusterer { return cluster.EdgeZeroing{} })
+	MustRegisterClusterer("dominant-sequence", func(*rand.Rand) cluster.Clusterer { return cluster.DominantSequence{} })
+}
+
+// RegisterClusterer adds a named clustering strategy to the registry,
+// making it available to ClustererByName, Request.Clusterer, and every CLI
+// flag that resolves through them. It errors on an empty name, a nil
+// factory, or a name already taken.
+func RegisterClusterer(name string, factory ClustererFactory) error {
+	if name == "" {
+		return fmt.Errorf("service: clusterer name must be non-empty")
+	}
+	if factory == nil {
+		return fmt.Errorf("service: clusterer %q has a nil factory", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		return fmt.Errorf("service: clusterer %q already registered", name)
+	}
+	registry.factories[name] = factory
+	return nil
+}
+
+// MustRegisterClusterer is RegisterClusterer, panicking on error — for
+// package init blocks.
+func MustRegisterClusterer(name string, factory ClustererFactory) {
+	if err := RegisterClusterer(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// ClustererByName instantiates a registered strategy. rng seeds random
+// strategies and is ignored by deterministic ones. Unknown names yield a
+// *ValidationError listing the registered alternatives.
+func ClustererByName(name string, rng *rand.Rand) (cluster.Clusterer, error) {
+	registry.RLock()
+	factory, ok := registry.factories[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, &ValidationError{
+			Field: "Clusterer",
+			Msg:   fmt.Sprintf("unknown clusterer %q (registered: %s)", name, ClustererUsage()),
+		}
+	}
+	return factory(rng), nil
+}
+
+// ClustererNames returns the registered strategy names in sorted order —
+// the single source of truth for CLI flag help text.
+func ClustererNames() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.factories))
+	for name := range registry.factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ClustererUsage renders the registered names as a comma-separated list for
+// flag descriptions and error messages.
+func ClustererUsage() string {
+	return strings.Join(ClustererNames(), ", ")
+}

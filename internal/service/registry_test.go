@@ -1,0 +1,98 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"mimdmap/internal/cluster"
+	"mimdmap/internal/graph"
+)
+
+func TestClustererNamesSortedAndComplete(t *testing.T) {
+	names := ClustererNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("names not sorted: %v", names)
+	}
+	for _, want := range []string{"random", "round-robin", "blocks", "load-balance", "edge-zeroing", "dominant-sequence"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("built-in %q missing from %v", want, names)
+		}
+	}
+	for _, n := range names {
+		if !strings.Contains(ClustererUsage(), n) {
+			t.Fatalf("usage string missing %q: %s", n, ClustererUsage())
+		}
+	}
+}
+
+func TestClustererByNameRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range ClustererNames() {
+		cl, err := ClustererByName(name, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cl.Name() != name {
+			t.Fatalf("clusterer %q reports name %q", name, cl.Name())
+		}
+	}
+	_, err := ClustererByName("nope", rng)
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("unknown name error = %v, want *ValidationError", err)
+	}
+	if !strings.Contains(verr.Error(), "round-robin") {
+		t.Fatalf("unknown-name error does not list alternatives: %v", verr)
+	}
+}
+
+func TestRegisterClustererRejectsBadInput(t *testing.T) {
+	factory := func(*rand.Rand) cluster.Clusterer { return cluster.RoundRobin{} }
+	if err := RegisterClusterer("", factory); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := RegisterClusterer("broken", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	if err := RegisterClusterer("random", factory); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+// stripes is a registrable test clusterer: contiguous equal stripes of the
+// raw task IDs.
+type stripes struct{}
+
+func (stripes) Name() string { return "test-stripes" }
+
+func (stripes) Cluster(p *graph.Problem, k int) (*graph.Clustering, error) {
+	n := p.NumTasks()
+	c := graph.NewClustering(n, k)
+	for i := range c.Of {
+		c.Of[i] = i * k / n
+	}
+	return c, nil
+}
+
+func TestRegisteredClustererReachableFromSolve(t *testing.T) {
+	MustRegisterClusterer("test-stripes", func(*rand.Rand) cluster.Clusterer { return stripes{} })
+	p := testProblem(t)
+	var s Solver
+	resp, err := s.Solve(context.Background(), &Request{Problem: p, Topology: "ring-6", Clusterer: "test-stripes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Diagnostics.Clusterer != "test-stripes" {
+		t.Fatalf("diagnostics clusterer = %q", resp.Diagnostics.Clusterer)
+	}
+}

@@ -1,0 +1,392 @@
+// Package service is the context-first solver layer of mimdmap: a
+// request/response API over the paper's mapping strategy, designed for the
+// scenarios job mapping meets in practice — resource managers and placement
+// services fielding streams of requests against a fixed machine.
+//
+// A Request names a complete mapping run declaratively: the problem graph,
+// the machine (given directly or as a topology spec), the clustering (given
+// directly or as a registered clusterer name), one seed, and the mapper
+// options. A Solver turns requests into Responses — result, evaluated
+// schedule, diagnostics, timing — one at a time (Solve) or as a batch
+// fanned out over the shared worker pool (SolveBatch). Solvers are safe for
+// concurrent use and cache the all-pairs shortest-path table per machine,
+// so repeated requests against the same system amortise paths.New.
+//
+// Determinism contract: a Request carrying an explicit Clustering and
+// Options.Starts <= 1 is solved bit-identically to the sequential paper
+// strategy (core.Mapper.Run) for the same seed, and SolveBatch output is
+// independent of the worker count, because every request derives its random
+// streams from its own seed and results are collected by index.
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"mimdmap/internal/core"
+	"mimdmap/internal/graph"
+	"mimdmap/internal/parallel"
+	"mimdmap/internal/paths"
+	"mimdmap/internal/schedule"
+	"mimdmap/internal/topology"
+)
+
+// Seed streams: every random consumer of a request derives its generator
+// from the request seed on its own stream, so clustering, topology
+// construction, and refinement chains (streams 1..Starts-1 in core) never
+// share state. The streams sit far above any plausible chain index.
+const (
+	clustererSeedStream = 1 << 30
+	topologySeedStream  = 1<<30 + 1
+)
+
+// Request describes one mapping problem to solve. Exactly one of System or
+// Topology must name the machine, and exactly one of Clustering or
+// Clusterer must name the clustering step.
+type Request struct {
+	// Problem is the task DAG to map. Required.
+	Problem *graph.Problem
+
+	// System is the machine graph, given directly. A long-lived Solver
+	// caches the machine's distance table by identity, so the graph must
+	// not be mutated after it has been handed to one.
+	System *graph.System
+	// Topology alternatively names the machine as a spec string like
+	// "mesh-4x4" or "hypercube-6" (see topology.ByName).
+	Topology string
+
+	// Clustering is the task→cluster partition, given directly.
+	Clustering *graph.Clustering
+	// Clusterer alternatively names a registered clustering strategy
+	// (see ClustererByName) applied on the fly; the cluster count is the
+	// machine size, as the paper requires.
+	Clusterer string
+
+	// Seed drives every random stream of the request: the clusterer, random
+	// topology construction, and — unless Options.Rand is set — the
+	// refinement chains. 0 means Options.Seed, or 1 if that is unset too.
+	Seed int64
+
+	// Options tunes the mapper exactly as in the classic API. A nil-Rand
+	// options struct has its Rand and Seed derived from the request Seed,
+	// so one knob reproduces the whole run.
+	Options core.Options
+
+	// OmitSchedule skips evaluating the winning assignment's schedule,
+	// leaving Response.Schedule nil — for callers that only need the
+	// mapping (the classic Map/MapParallel wrappers set it).
+	OmitSchedule bool
+}
+
+// Diagnostics reports how the solver resolved a request.
+type Diagnostics struct {
+	// Machine is the resolved system's name (topology label or "").
+	Machine string
+	// Nodes is the machine size ns.
+	Nodes int
+	// Clusterer is the name of the strategy that produced the clustering,
+	// or "" when the request carried an explicit Clustering.
+	Clusterer string
+	// DistanceCached reports that the machine's shortest-path table came
+	// from the solver's cache rather than a fresh paths.New.
+	DistanceCached bool
+}
+
+// Response is the outcome of solving one Request.
+type Response struct {
+	// Result is the full mapping result (assignment, total time, lower
+	// bound, refinement statistics, ideal graph, critical analysis).
+	Result *core.Result
+	// Schedule is the evaluated schedule of the winning assignment:
+	// per-task start/end times, total time, latest tasks.
+	Schedule *schedule.Result
+	// System is the resolved machine graph (identical to Request.System
+	// when that was given).
+	System *graph.System
+	// Clustering is the resolved clustering (identical to
+	// Request.Clustering when that was given).
+	Clustering *graph.Clustering
+	// Diagnostics reports resolution details.
+	Diagnostics Diagnostics
+	// Elapsed is the wall-clock time the solve took.
+	Elapsed time.Duration
+	// Err is set instead of the other fields when this response's request
+	// failed inside SolveBatch; Solve reports errors through its own return
+	// value and always leaves Err nil.
+	Err error
+}
+
+// ValidationError reports a malformed Request: a missing or contradictory
+// field, an unknown strategy name, or inputs the mapper rejects. Servers
+// can map it to a 400-class status with errors.As.
+type ValidationError struct {
+	// Field is the Request field at fault.
+	Field string
+	// Msg describes the problem.
+	Msg string
+	// Err is the underlying cause, if any.
+	Err error
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	var b strings.Builder
+	b.WriteString("service: invalid request")
+	if e.Field != "" {
+		b.WriteString(": " + e.Field)
+	}
+	if e.Msg != "" {
+		b.WriteString(": " + e.Msg)
+	}
+	if e.Err != nil {
+		b.WriteString(": " + e.Err.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// Solver solves mapping Requests. The zero value is ready to use; a Solver
+// is safe for concurrent use and is meant to be long-lived so its caches
+// pay off: it memoises the shortest-path table of every machine it has seen
+// (keyed by system identity) and the machines built from topology specs, so
+// a service fielding many requests against one machine computes paths.New
+// once. The cache trusts system identity — a *graph.System handed to a
+// Solver must not be mutated afterwards, or later solves will reuse its
+// stale distance table.
+type Solver struct {
+	// Workers bounds the SolveBatch fan-out (0 = one worker per CPU). It is
+	// independent of Options.Workers, which bounds the refinement chains
+	// within a single request.
+	Workers int
+	// MaxCachedMachines bounds both caches (0 = 64). When full, the oldest
+	// entry is evicted first-in-first-out.
+	MaxCachedMachines int
+
+	mu        sync.Mutex
+	dists     map[*graph.System]*paths.Table
+	distOrder []*graph.System
+	systems   map[string]*graph.System
+	sysOrder  []string
+}
+
+// NewSolver returns a Solver with the given batch fan-out bound
+// (0 = one worker per CPU).
+func NewSolver(workers int) *Solver { return &Solver{Workers: workers} }
+
+// effectiveSeed resolves the request's root seed: Request.Seed, then
+// Options.Seed, then 1 — mirroring the defaults of the classic API so a
+// zero-valued request reproduces Map's behaviour.
+func effectiveSeed(req *Request) int64 {
+	if req.Seed != 0 {
+		return req.Seed
+	}
+	if req.Options.Seed != 0 {
+		return req.Options.Seed
+	}
+	return 1
+}
+
+// validate checks the request's declarative shape. Deeper input validation
+// (DAG-ness, cluster counts, connectivity) happens in core.New and is
+// wrapped by Solve.
+func validate(req *Request) *ValidationError {
+	if req == nil {
+		return &ValidationError{Msg: "nil request"}
+	}
+	if req.Problem == nil {
+		return &ValidationError{Field: "Problem", Msg: "a problem graph is required"}
+	}
+	switch {
+	case req.System == nil && req.Topology == "":
+		return &ValidationError{Field: "System", Msg: "one of System or Topology is required"}
+	case req.System != nil && req.Topology != "":
+		return &ValidationError{Field: "Topology", Msg: "System and Topology are mutually exclusive"}
+	}
+	switch {
+	case req.Clustering == nil && req.Clusterer == "":
+		return &ValidationError{Field: "Clustering", Msg: "one of Clustering or Clusterer is required"}
+	case req.Clustering != nil && req.Clusterer != "":
+		return &ValidationError{Field: "Clusterer", Msg: "Clustering and Clusterer are mutually exclusive"}
+	}
+	return nil
+}
+
+// Solve resolves and solves one request. Validation failures come back as
+// *ValidationError; cancelling ctx mid-refinement returns the best mapping
+// found so far, like the classic MapParallel.
+func (s *Solver) Solve(ctx context.Context, req *Request) (*Response, error) {
+	began := time.Now()
+	if verr := validate(req); verr != nil {
+		return nil, verr
+	}
+	seed := effectiveSeed(req)
+
+	sys, err := s.resolveSystem(req, seed)
+	if err != nil {
+		return nil, err
+	}
+	clus, clusName, err := resolveClustering(req, sys, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	opts := req.Options
+	if opts.Rand == nil {
+		opts.Rand = rand.New(rand.NewSource(seed))
+	}
+	if opts.Seed == 0 {
+		opts.Seed = seed
+	}
+	cached := false
+	if opts.Delays == nil && opts.Dist == nil {
+		opts.Dist, cached = s.distances(sys)
+	}
+
+	m, err := core.New(req.Problem, clus, sys, opts)
+	if err != nil {
+		return nil, &ValidationError{Msg: "mapper rejected inputs", Err: err}
+	}
+	res, err := m.RunParallel(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var sched *schedule.Result
+	if !req.OmitSchedule {
+		sched = m.Evaluator().Evaluate(res.Assignment)
+	}
+	return &Response{
+		Result:     res,
+		Schedule:   sched,
+		System:     sys,
+		Clustering: clus,
+		Diagnostics: Diagnostics{
+			Machine:        sys.Name,
+			Nodes:          sys.NumNodes(),
+			Clusterer:      clusName,
+			DistanceCached: cached,
+		},
+		Elapsed: time.Since(began),
+	}, nil
+}
+
+// SolveBatch solves every request, fanning out over at most Workers
+// goroutines, and returns the responses in request order — output is
+// independent of the worker count because each request derives its random
+// streams from its own seed. A request that fails yields a Response with
+// only Err set, so one bad request never poisons the batch; the returned
+// error is non-nil only when ctx is cancelled before all requests finish.
+func (s *Solver) SolveBatch(ctx context.Context, reqs []*Request) ([]*Response, error) {
+	out := make([]*Response, len(reqs))
+	err := parallel.ForEach(ctx, len(reqs), s.Workers, func(ctx context.Context, i int) error {
+		resp, err := s.Solve(ctx, reqs[i])
+		if err != nil {
+			resp = &Response{Err: err}
+		}
+		out[i] = resp
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// resolveSystem returns the request's machine, building (and memoising)
+// topology specs. Random topologies are keyed by spec and seed, since their
+// shape depends on the generator.
+func (s *Solver) resolveSystem(req *Request, seed int64) (*graph.System, error) {
+	if req.System != nil {
+		return req.System, nil
+	}
+	spec := req.Topology
+	key := spec
+	topoSeed := parallel.DeriveSeed(seed, topologySeedStream)
+	if strings.HasPrefix(spec, "random-") {
+		key = fmt.Sprintf("%s@%d", spec, topoSeed)
+	}
+	s.mu.Lock()
+	sys, ok := s.systems[key]
+	s.mu.Unlock()
+	if ok {
+		return sys, nil
+	}
+	sys, err := topology.ByName(spec, rand.New(rand.NewSource(topoSeed)))
+	if err != nil {
+		return nil, &ValidationError{Field: "Topology", Err: err}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.systems[key]; ok {
+		return existing, nil // a concurrent request built it first; share its identity
+	}
+	if s.systems == nil {
+		s.systems = map[string]*graph.System{}
+	}
+	if len(s.sysOrder) >= s.cap() {
+		delete(s.systems, s.sysOrder[0])
+		s.sysOrder = s.sysOrder[1:]
+	}
+	s.systems[key] = sys
+	s.sysOrder = append(s.sysOrder, key)
+	return sys, nil
+}
+
+// resolveClustering returns the request's clustering and, when a named
+// strategy produced it, that strategy's name.
+func resolveClustering(req *Request, sys *graph.System, seed int64) (*graph.Clustering, string, error) {
+	if req.Clustering != nil {
+		return req.Clustering, "", nil
+	}
+	rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, clustererSeedStream)))
+	cl, err := ClustererByName(req.Clusterer, rng)
+	if err != nil {
+		return nil, "", err
+	}
+	clus, err := cl.Cluster(req.Problem, sys.NumNodes())
+	if err != nil {
+		return nil, "", &ValidationError{Field: "Clusterer", Msg: fmt.Sprintf("%s failed", cl.Name()), Err: err}
+	}
+	return clus, cl.Name(), nil
+}
+
+// distances returns the machine's shortest-path table, from the cache when
+// this solver has seen the machine before. The table is computed outside
+// the lock so concurrent solves of distinct machines never serialise.
+func (s *Solver) distances(sys *graph.System) (t *paths.Table, cached bool) {
+	s.mu.Lock()
+	if t, ok := s.dists[sys]; ok {
+		s.mu.Unlock()
+		return t, true
+	}
+	s.mu.Unlock()
+	t = paths.New(sys)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.dists[sys]; ok {
+		return existing, true
+	}
+	if s.dists == nil {
+		s.dists = map[*graph.System]*paths.Table{}
+	}
+	if len(s.distOrder) >= s.cap() {
+		delete(s.dists, s.distOrder[0])
+		s.distOrder = s.distOrder[1:]
+	}
+	s.dists[sys] = t
+	s.distOrder = append(s.distOrder, sys)
+	return t, false
+}
+
+// cap resolves the cache bound. Callers hold s.mu.
+func (s *Solver) cap() int {
+	if s.MaxCachedMachines > 0 {
+		return s.MaxCachedMachines
+	}
+	return 64
+}

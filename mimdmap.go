@@ -40,6 +40,17 @@
 //	res, err := mimdmap.Map(prob, mimdmap.IdentityClustering(4), sys, nil)
 //	// res.TotalTime, res.LowerBound, res.Assignment.ProcOf ...
 //
+// The context-first Solver API expresses the same run declaratively and
+// scales to batches and services (see Request, Response, Solver):
+//
+//	resp, err := mimdmap.Solve(ctx, &mimdmap.Request{
+//		Problem:   prob,
+//		Topology:  "ring-4",
+//		Clusterer: "round-robin",
+//		Seed:      1,
+//	})
+//	// resp.Result, resp.Schedule, resp.Diagnostics ...
+//
 // Package-level functions cover the common paths; the full surface
 // (evaluators, critical-edge analysis, baselines, generators, experiment
 // harness) is reachable through the returned types and the options struct.
@@ -59,6 +70,7 @@ import (
 	"mimdmap/internal/ideal"
 	"mimdmap/internal/paths"
 	"mimdmap/internal/schedule"
+	"mimdmap/internal/service"
 	"mimdmap/internal/topology"
 )
 
@@ -137,16 +149,17 @@ func IdentityClustering(n int) *Clustering {
 // assignment, refinement with the lower-bound termination condition — and
 // returns the mapping result. opts may be nil for the paper's defaults.
 // The clustering must have exactly as many clusters as sys has processors.
+// It is a thin wrapper over the Solver API (see Request and Solve),
+// preserved for callers that want the classic positional signature; as it
+// always has, it runs the single sequential refinement chain
+// (opts.Starts is ignored — use MapParallel or Solve for multi-start).
 func Map(p *Problem, c *Clustering, sys *System, opts *Options) (*Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
 	}
-	m, err := core.New(p, c, sys, o)
-	if err != nil {
-		return nil, err
-	}
-	return m.Run()
+	o.Starts = 0
+	return MapParallel(context.Background(), p, c, sys, &o)
 }
 
 // MapParallel runs the strategy with opts.Starts independent refinement
@@ -157,13 +170,33 @@ func Map(p *Problem, c *Clustering, sys *System, opts *Options) (*Result, error)
 // optimal. Chain 0 consumes opts.Rand exactly as Map would, so
 // opts.Starts <= 1 is bit-identical to Map; chains beyond the first derive
 // their generators from opts.Seed. Cancelling ctx returns the best
-// assignment found so far rather than an error.
+// assignment found so far rather than an error. Like Map, it is a thin
+// wrapper over the Solver API; invalid inputs therefore surface as a
+// *ValidationError wrapping the underlying cause (match the cause with
+// errors.As/Is rather than its message text).
 func MapParallel(ctx context.Context, p *Problem, c *Clustering, sys *System, opts *Options) (*Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
 	}
-	return core.MapParallel(ctx, p, c, sys, o)
+	// Preserve the classic default exactly: a nil Rand always meant the
+	// fixed seed-1 generator, with Options.Seed feeding only the chains
+	// beyond the first. The request-level Seed unification (one seed
+	// driving Rand too) belongs to the Solver API alone.
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+	resp, err := new(service.Solver).Solve(ctx, &service.Request{
+		Problem:      p,
+		System:       sys,
+		Clustering:   c,
+		Options:      o,
+		OmitSchedule: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
 }
 
 // NewMapper validates the inputs and returns a reusable mapper, exposing

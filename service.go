@@ -1,0 +1,57 @@
+package mimdmap
+
+import (
+	"context"
+
+	"mimdmap/internal/service"
+)
+
+// The context-first solver API. A Request names a complete mapping run —
+// problem, machine (direct or by topology spec), clustering (direct or by
+// registered clusterer name), seed, options — and a Solver turns it into a
+// Response: result, evaluated schedule, diagnostics, and timing. This is
+// the primary entry point; Map and MapParallel are thin wrappers over it.
+type (
+	// Request describes one mapping problem to solve.
+	Request = service.Request
+	// Response is the outcome of solving one Request.
+	Response = service.Response
+	// Solver solves Requests, one at a time or in batches. It is safe for
+	// concurrent use, and a long-lived Solver caches the shortest-path
+	// table of every machine it has seen, amortising repeated requests
+	// against the same system.
+	Solver = service.Solver
+	// Diagnostics reports how the solver resolved a request.
+	Diagnostics = service.Diagnostics
+	// ValidationError reports a malformed Request; servers map it to a
+	// 400-class status with errors.As.
+	ValidationError = service.ValidationError
+	// ClustererFactory builds clusterer instances for RegisterClusterer.
+	ClustererFactory = service.ClustererFactory
+)
+
+// NewSolver returns a Solver whose SolveBatch fans out over at most the
+// given number of workers (0 = one per CPU).
+func NewSolver(workers int) *Solver { return service.NewSolver(workers) }
+
+// Solve solves one request with a throwaway Solver — the one-shot
+// convenience path. Callers with many requests against the same machines
+// should hold a Solver so its distance-table cache pays off.
+func Solve(ctx context.Context, req *Request) (*Response, error) {
+	return new(Solver).Solve(ctx, req)
+}
+
+// The named-clusterer registry, mirroring TopologyByName for machines: one
+// source of truth for every CLI flag, the server, and Request.Clusterer.
+var (
+	// ClustererByName instantiates a registered clustering strategy; rng
+	// seeds random strategies and is ignored by deterministic ones.
+	ClustererByName = service.ClustererByName
+	// RegisterClusterer adds a named strategy to the registry.
+	RegisterClusterer = service.RegisterClusterer
+	// ClustererNames returns the registered names, sorted.
+	ClustererNames = service.ClustererNames
+	// ClustererUsage renders the registered names as a comma-separated
+	// list for flag help text.
+	ClustererUsage = service.ClustererUsage
+)

@@ -1,0 +1,160 @@
+package mimdmap_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mimdmap"
+)
+
+// solveInstance returns a deterministic 30-task problem and a 2x4 mesh.
+func solveInstance(t *testing.T) (*mimdmap.Problem, *mimdmap.System) {
+	t.Helper()
+	prob, err := mimdmap.RandomProblem(mimdmap.RandomProblemConfig{
+		Tasks:         30,
+		EdgeProb:      0.12,
+		MinTaskSize:   1,
+		MaxTaskSize:   9,
+		MinEdgeWeight: 1,
+		MaxEdgeWeight: 4,
+		Connected:     true,
+	}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob, mimdmap.Mesh(2, 4)
+}
+
+// TestSolveBitIdenticalToMap is the acceptance gate of the API redesign:
+// Solver.Solve with Starts <= 1 must reproduce Map bit for bit — same
+// assignment, same counters, same analysis — for the same seed.
+func TestSolveBitIdenticalToMap(t *testing.T) {
+	prob, sys := solveInstance(t)
+	clus, err := mimdmap.RoundRobinClusterer.Cluster(prob, sys.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 7, 1991} {
+		want, err := mimdmap.Map(prob, clus, sys, &mimdmap.Options{Rand: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := mimdmap.Solve(context.Background(), &mimdmap.Request{
+			Problem:    prob,
+			System:     sys,
+			Clustering: clus,
+			Seed:       seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(resp.Result, want) {
+			t.Fatalf("seed %d: Solve result differs from Map:\n got %+v\nwant %+v", seed, resp.Result, want)
+		}
+	}
+}
+
+// TestSolveDefaultSeedMatchesNilOptionsMap pins that a zero-valued request
+// seed reproduces Map's nil-options defaults.
+func TestSolveDefaultSeedMatchesNilOptionsMap(t *testing.T) {
+	prob, sys := solveInstance(t)
+	clus, err := mimdmap.BlocksClusterer.Cluster(prob, sys.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mimdmap.Map(prob, clus, sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := mimdmap.Solve(context.Background(), &mimdmap.Request{Problem: prob, System: sys, Clustering: clus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Result, want) {
+		t.Fatal("zero-seed Solve differs from nil-options Map")
+	}
+}
+
+// TestMapParallelStillMultiStarts guards the wrapper rewiring: the classic
+// entry point must still run multi-start refinement through the solver.
+func TestMapParallelStillMultiStarts(t *testing.T) {
+	prob, sys := solveInstance(t)
+	clus, err := mimdmap.RoundRobinClusterer.Cluster(prob, sys.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := mimdmap.Map(prob, clus, sys, &mimdmap.Options{Rand: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := mimdmap.MapParallel(context.Background(), prob, clus, sys,
+		&mimdmap.Options{Rand: rand.New(rand.NewSource(2)), Starts: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.TotalTime > single.TotalTime {
+		t.Fatalf("multi-start total %d worse than single-start %d", multi.TotalTime, single.TotalTime)
+	}
+}
+
+// TestSolveBatchFacade checks batch solving end to end through the facade:
+// responses independent of worker count, ordered by request.
+func TestSolveBatchFacade(t *testing.T) {
+	prob, _ := solveInstance(t)
+	build := func() []*mimdmap.Request {
+		return []*mimdmap.Request{
+			{Problem: prob, Topology: "mesh-2x4", Clusterer: "random", Seed: 5},
+			{Problem: prob, Topology: "hypercube-3", Clusterer: "blocks", Seed: 6},
+			{Problem: prob, Topology: "ring-8", Clusterer: "load-balance", Seed: 7},
+		}
+	}
+	ref, err := mimdmap.NewSolver(1).SolveBatch(context.Background(), build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mimdmap.NewSolver(3).SolveBatch(context.Background(), build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i].Err != nil || ref[i].Err != nil {
+			t.Fatalf("request %d failed: %v / %v", i, out[i].Err, ref[i].Err)
+		}
+		if !out[i].Result.Assignment.Equal(ref[i].Result.Assignment) ||
+			out[i].Result.TotalTime != ref[i].Result.TotalTime {
+			t.Fatalf("request %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestSolveValidationErrorsSurfaceThroughFacade(t *testing.T) {
+	prob, _ := solveInstance(t)
+	_, err := mimdmap.Solve(context.Background(), &mimdmap.Request{Problem: prob, Topology: "mesh-2x4"})
+	var verr *mimdmap.ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("got %v, want *mimdmap.ValidationError", err)
+	}
+}
+
+func TestSolverDistanceCacheAcrossRequests(t *testing.T) {
+	prob, _ := solveInstance(t)
+	s := mimdmap.NewSolver(0)
+	req := func(seed int64) *mimdmap.Request {
+		return &mimdmap.Request{Problem: prob, Topology: "mesh-2x4", Clusterer: "round-robin", Seed: seed}
+	}
+	first, err := s.Solve(context.Background(), req(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Solve(context.Background(), req(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Diagnostics.DistanceCached || !second.Diagnostics.DistanceCached {
+		t.Fatalf("distance cache diagnostics wrong: first=%v second=%v",
+			first.Diagnostics.DistanceCached, second.Diagnostics.DistanceCached)
+	}
+}
