@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench ci clean
+.PHONY: all build test race vet bench bench-refine bench-smoke ci clean
 
 all: ci
 
@@ -27,7 +27,18 @@ vet:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-ci: build vet test race
+# Measure the refinement hot path (median of 3) and append the entry to
+# the recorded trajectory. See the README's "Performance & tuning".
+bench-refine:
+	$(GO) run ./cmd/mapbench -refinebench -bench-out BENCH_refine.json
+
+# Fast benchmark gate for CI: the Go refinement benchmarks at a short
+# benchtime plus one quick harness pass, so neither can rot unnoticed.
+bench-smoke:
+	$(GO) test -bench Refine -benchtime 10x -run '^$$' ./internal/schedule/
+	$(GO) run ./cmd/mapbench -refinebench -bench-quick
+
+ci: build vet test race bench-smoke
 
 clean:
 	$(GO) clean ./...

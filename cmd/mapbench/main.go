@@ -13,6 +13,9 @@
 //	mapbench -seed 7 -trials 25  # change master seed / random trials
 //	mapbench -workers 8          # cap the experiment fan-out (0 = all CPUs)
 //	mapbench -starts 4           # multi-start refinement chains per mapping
+//	mapbench -refinebench -bench-out BENCH_refine.json
+//	                             # measure the refinement hot path and append
+//	                             # the trajectory entry (see -bench-label)
 //
 // Independent experiments fan out across -workers goroutines; the output
 // is byte-identical at any worker count because every instance derives its
@@ -47,12 +50,16 @@ func main() {
 
 // benchFlags is the parsed command line.
 type benchFlags struct {
-	cfg       experiment.Config
-	table     int
-	fig       string
-	ablation  bool
-	extension bool
-	sweep     bool
+	cfg         experiment.Config
+	table       int
+	fig         string
+	ablation    bool
+	extension   bool
+	sweep       bool
+	refinebench bool
+	benchOut    string
+	benchLabel  string
+	benchQuick  bool
 }
 
 // parseFlags parses args into the experiment configuration and selectors.
@@ -71,6 +78,10 @@ func parseFlags(args []string) (benchFlags, error) {
 		edgeWeight = fs.Int("edgeweight", 0, "maximum communication weight (0 = default)")
 		workers    = fs.Int("workers", 0, "max concurrent experiments (0 = all CPUs, 1 = sequential)")
 		starts     = fs.Int("starts", 0, "multi-start refinement chains per mapping in the table, extension and sweep experiments (0 or 1 = single chain)")
+		refine     = fs.Bool("refinebench", false, "run only the refinement hot-path benchmark (batched swap trials on Table 1-3 style workloads)")
+		benchOut   = fs.String("bench-out", "", "with -refinebench: append the measured entry to this JSON trajectory file (e.g. BENCH_refine.json); empty = print only")
+		benchLabel = fs.String("bench-label", "", "with -refinebench: label of the recorded entry (default \"current\")")
+		benchQuick = fs.Bool("bench-quick", false, "with -refinebench: fast single-pass measurement for CI smoke tests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return benchFlags{}, err
@@ -85,11 +96,15 @@ func parseFlags(args []string) (benchFlags, error) {
 			Workers:       *workers,
 			Starts:        *starts,
 		},
-		table:     *table,
-		fig:       *fig,
-		ablation:  *ablation,
-		extension: *extension,
-		sweep:     *sweep,
+		table:       *table,
+		fig:         *fig,
+		ablation:    *ablation,
+		extension:   *extension,
+		sweep:       *sweep,
+		refinebench: *refine,
+		benchOut:    *benchOut,
+		benchLabel:  *benchLabel,
+		benchQuick:  *benchQuick,
 	}, nil
 }
 
@@ -106,6 +121,9 @@ func run(args []string, stdout io.Writer) error {
 
 func report(f benchFlags, w io.Writer) error {
 	cfg := f.cfg
+	if f.refinebench {
+		return refineBenchReport(w, cfg.MasterSeed, f.benchLabel, f.benchOut, f.benchQuick)
+	}
 	all := f.table == 0 && f.fig == "" && !f.ablation && !f.extension && !f.sweep
 
 	tables := []struct {

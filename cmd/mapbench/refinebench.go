@@ -1,0 +1,235 @@
+package main
+
+// The -refinebench mode measures the §4.3.3 refinement hot path — one
+// random-swap trial evaluated with schedule.Evaluator.TotalTime — on
+// workloads shaped like the paper's Tables 1–3 (random clustered DAGs on
+// hypercubes, meshes and sparse random machines), and records the
+// trajectory in a JSON file (BENCH_refine.json at the repo root). Each run
+// appends one labelled entry, so the file accumulates the before/after
+// history of every evaluator optimisation instead of overwriting it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"mimdmap/internal/gen"
+	"mimdmap/internal/graph"
+	"mimdmap/internal/paths"
+	"mimdmap/internal/schedule"
+	"mimdmap/internal/topology"
+)
+
+// refineWorkload is the measurement of one workload in one entry.
+type refineWorkload struct {
+	Name           string  `json:"name"`
+	NP             int     `json:"np"`
+	NS             int     `json:"ns"`
+	NsPerTrial     float64 `json:"ns_per_trial"`
+	AllocsPerTrial float64 `json:"allocs_per_trial"`
+	TrialsPerSec   float64 `json:"trials_per_sec"`
+}
+
+// refineEntry is one labelled benchmark run.
+type refineEntry struct {
+	Label     string           `json:"label"`
+	Date      string           `json:"date"`
+	GoVersion string           `json:"go_version"`
+	Workloads []refineWorkload `json:"workloads"`
+}
+
+// refineFile is the on-disk shape of BENCH_refine.json.
+type refineFile struct {
+	Description string        `json:"description"`
+	Entries     []refineEntry `json:"entries"`
+}
+
+// refineInstance is one generated benchmark workload.
+type refineInstance struct {
+	name string
+	prob *graph.Problem
+	clus *graph.Clustering
+	sys  *graph.System
+}
+
+// refineWorkloads generates the benchmark instances deterministically from
+// the master seed via the shared gen.TableInstance builder (Table 1–3
+// workload parameters), so the Go benchmarks in internal/schedule measure
+// identical workloads.
+func refineWorkloads(seed int64) ([]refineInstance, error) {
+	specs := []struct {
+		name string
+		sys  *graph.System
+	}{
+		{"table1/hypercube-16", topology.Hypercube(4)},
+		{"table1/hypercube-32", topology.Hypercube(5)},
+		{"table2/mesh-4x4", topology.Mesh(4, 4)},
+		{"table2/mesh-5x8", topology.Mesh(5, 8)},
+		{"table3/random-24", topology.Random(24, 0.08, rand.New(rand.NewSource(seed+100)))},
+	}
+	out := make([]refineInstance, 0, len(specs))
+	for i, sp := range specs {
+		prob, clus, err := gen.TableInstance(sp.sys.NumNodes(), seed+int64(i)*7919)
+		if err != nil {
+			return nil, fmt.Errorf("refinebench %s: %w", sp.name, err)
+		}
+		out = append(out, refineInstance{name: sp.name, prob: prob, clus: clus, sys: sp.sys})
+	}
+	return out, nil
+}
+
+// measureRefineTrial times one refinement trial — pick two random
+// clusters, price the swapped assignment exactly — the way core.refine
+// drives it: candidate swaps of a fixed incumbent drawn ahead and priced
+// schedule.SwapLanes at a time by a SwapSession's interleaved batch pass.
+// quick trades precision for speed (the CI smoke gate).
+func measureRefineTrial(in refineInstance, seed int64, quick bool) (refineWorkload, error) {
+	e, err := schedule.NewEvaluator(in.prob, in.clus, paths.New(in.sys))
+	if err != nil {
+		return refineWorkload{}, err
+	}
+	k := in.clus.K
+	if quick {
+		return measureRefineTrialQuick(e, in, seed)
+	}
+	// Single-run wall times on a shared machine swing by ±20%; the median
+	// of three independent testing.Benchmark runs is the recorded figure.
+	const rounds = 3
+	ns := make([]float64, 0, rounds)
+	allocs := 0.0
+	for r := 0; r < rounds; r++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			rng := rand.New(rand.NewSource(seed))
+			sess := e.NewSwapSession(schedule.FromPerm(rng.Perm(k)))
+			var ks, ls, totals [schedule.SwapLanes]int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for t := 0; t < b.N; t += schedule.SwapLanes {
+				for l := 0; l < schedule.SwapLanes; l++ {
+					ks[l], ls[l] = schedule.RandSwapPair(rng, k)
+				}
+				sess.TrySwapBatch(&ks, &ls, &totals)
+				benchSink += totals[0] + totals[schedule.SwapLanes-1]
+			}
+		})
+		ns = append(ns, float64(res.NsPerOp()))
+		allocs = float64(res.AllocsPerOp())
+	}
+	sort.Float64s(ns)
+	nsPerOp := ns[rounds/2]
+	trialsPerSec := 0.0
+	if nsPerOp > 0 {
+		trialsPerSec = 1e9 / nsPerOp
+	}
+	return refineWorkload{
+		Name:           in.name,
+		NP:             in.prob.NumTasks(),
+		NS:             in.sys.NumNodes(),
+		NsPerTrial:     nsPerOp,
+		AllocsPerTrial: allocs,
+		TrialsPerSec:   trialsPerSec,
+	}, nil
+}
+
+// measureRefineTrialQuick is the smoke-test measurement: a fixed trial
+// count timed once, plus an allocation check — fast enough for CI while
+// still driving the whole batch path.
+func measureRefineTrialQuick(e *schedule.Evaluator, in refineInstance, seed int64) (refineWorkload, error) {
+	k := in.clus.K
+	rng := rand.New(rand.NewSource(seed))
+	sess := e.NewSwapSession(schedule.FromPerm(rng.Perm(k)))
+	var ks, ls, totals [schedule.SwapLanes]int
+	draw := func() {
+		for l := 0; l < schedule.SwapLanes; l++ {
+			ks[l], ls[l] = schedule.RandSwapPair(rng, k)
+		}
+	}
+	draw()
+	allocs := testing.AllocsPerRun(16, func() {
+		sess.TrySwapBatch(&ks, &ls, &totals)
+	}) / schedule.SwapLanes
+	const trials = 4096
+	began := time.Now()
+	for t := 0; t < trials; t += schedule.SwapLanes {
+		draw()
+		sess.TrySwapBatch(&ks, &ls, &totals)
+		benchSink += totals[0]
+	}
+	nsPerOp := float64(time.Since(began).Nanoseconds()) / trials
+	trialsPerSec := 0.0
+	if nsPerOp > 0 {
+		trialsPerSec = 1e9 / nsPerOp
+	}
+	return refineWorkload{
+		Name:           in.name,
+		NP:             in.prob.NumTasks(),
+		NS:             in.sys.NumNodes(),
+		NsPerTrial:     nsPerOp,
+		AllocsPerTrial: allocs,
+		TrialsPerSec:   trialsPerSec,
+	}, nil
+}
+
+// benchSink keeps the compiler from eliding the measured evaluation.
+var benchSink int
+
+// refineBenchReport runs the harness and appends one labelled entry to the
+// JSON trajectory at outPath ("" prints to w only). quick runs the fast
+// smoke measurement instead of the recorded median-of-3.
+func refineBenchReport(w io.Writer, seed int64, label, outPath string, quick bool) error {
+	if seed == 0 {
+		seed = 1991
+	}
+	if label == "" {
+		label = "current"
+	}
+	instances, err := refineWorkloads(seed)
+	if err != nil {
+		return err
+	}
+	entry := refineEntry{
+		Label:     label,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+	}
+	fmt.Fprintf(w, "=== Refinement hot-path benchmark (%s) ===\n", label)
+	fmt.Fprintf(w, "%-22s %6s %4s %14s %12s %14s\n", "workload", "np", "ns", "ns/trial", "allocs/trial", "trials/sec")
+	for _, in := range instances {
+		wl, err := measureRefineTrial(in, seed, quick)
+		if err != nil {
+			return err
+		}
+		entry.Workloads = append(entry.Workloads, wl)
+		fmt.Fprintf(w, "%-22s %6d %4d %14.0f %12.0f %14.0f\n",
+			wl.Name, wl.NP, wl.NS, wl.NsPerTrial, wl.AllocsPerTrial, wl.TrialsPerSec)
+	}
+	if outPath == "" {
+		return nil
+	}
+	file := refineFile{
+		Description: "Refinement hot-path trajectory: one §4.3.3 trial (swap + Evaluator.TotalTime) on Table 1–3 style workloads. Regenerate with `make bench-refine`.",
+	}
+	if data, err := os.ReadFile(outPath); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("refinebench: %s exists but is not valid JSON: %w", outPath, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	file.Entries = append(file.Entries, entry)
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "recorded entry %q in %s (%d entries)\n", label, outPath, len(file.Entries))
+	return nil
+}

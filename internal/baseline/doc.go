@@ -1,0 +1,23 @@
+// Package baseline implements the comparison mapping strategies the paper
+// positions itself against:
+//
+//   - Random mapping (§5): the experimental baseline of Tables 1–3.
+//   - Bokhari's algorithm (ref [1], §2.2): cardinality ascent by pairwise
+//     exchanges with probabilistic jumps.
+//   - A Lee-style phased communication-cost minimiser (ref [2], §2.2):
+//     pairwise exchanges minimising the sum over phases of the maximum
+//     weighted distance in each phase.
+//   - Pairwise exchange on total time: the refinement alternative the paper
+//     reports to be weaker than its random-change refinement (§4.3.3).
+//   - Simulated annealing on total time (refs [3], [14]): a strong generic
+//     optimiser included as an extension baseline.
+//
+// All searchers are deterministic given their *rand.Rand, and all of them
+// hammer the same schedule.Evaluator the mapper uses: total-time searchers
+// price assignments with the allocation-free TotalTime fast path, and the
+// cardinality searchers with the O(edges) CSR-based Cardinality, so
+// baseline comparisons measure strategy quality rather than evaluator
+// overhead. Searchers that need fresh random permutations reuse one
+// assignment buffer via schedule.RandPermInto, which consumes their
+// generator exactly as rand.Perm would.
+package baseline

@@ -1,8 +1,3 @@
-// Package core implements the paper's mapping strategy (§4.3): a
-// critical-edge-guided initial assignment of abstract nodes to system nodes,
-// followed by random-change refinement of the non-critical abstract nodes,
-// terminated early the moment the total time reaches the ideal-graph lower
-// bound (Theorem 3 proves such an assignment optimal).
 package core
 
 import (
@@ -146,6 +141,11 @@ type Mapper struct {
 	dist *paths.Table
 	abs  *graph.Abstract
 	eval *schedule.Evaluator
+
+	// freeClusters/freeProcs are the movable clusters and the processors
+	// they may occupy, computed once per analyse and shared read-only by
+	// every refinement chain.
+	freeClusters, freeProcs []int
 }
 
 // New validates the inputs and builds a Mapper. The clustering must have
@@ -223,7 +223,7 @@ func (m *Mapper) RunContext(ctx context.Context) (*Result, error) {
 	if err != nil || res.OptimalProven {
 		return res, err
 	}
-	m.refine(ctx, m.opts.Rand, res)
+	m.refine(ctx, m.opts.Rand, m.eval, res)
 	return res, nil
 }
 
@@ -245,6 +245,17 @@ func (m *Mapper) analyse() (*Result, error) {
 		Ideal:          ig,
 		Critical:       crit,
 	}
+	// Collect the movable clusters and the processors they may occupy:
+	// everything not pinned by a critical abstract node. Every refinement
+	// chain shares these read-only.
+	m.freeClusters = m.freeClusters[:0]
+	m.freeProcs = m.freeProcs[:0]
+	for k, isFrozen := range frozen {
+		if !isFrozen {
+			m.freeClusters = append(m.freeClusters, k)
+			m.freeProcs = append(m.freeProcs, assign.ProcOf[k])
+		}
+	}
 	res.TotalTime = m.eval.TotalTime(assign)
 	res.InitialTotalTime = res.TotalTime
 	if !m.opts.DisableTermination && res.TotalTime == res.LowerBound {
@@ -254,8 +265,10 @@ func (m *Mapper) analyse() (*Result, error) {
 }
 
 // refine performs the §4.3.3 random-change refinement in place on res,
-// drawing moves from rng and stopping early when ctx is cancelled.
-func (m *Mapper) refine(ctx context.Context, rng *rand.Rand, res *Result) {
+// drawing moves from rng and stopping early when ctx is cancelled. ev is
+// the chain's evaluation handle: concurrent chains pass their own fork so
+// scratch arenas are never shared.
+func (m *Mapper) refine(ctx context.Context, rng *rand.Rand, ev *schedule.Evaluator, res *Result) {
 	budget := m.opts.MaxRefinements
 	if budget == 0 {
 		budget = m.sys.NumNodes()
@@ -263,42 +276,111 @@ func (m *Mapper) refine(ctx context.Context, rng *rand.Rand, res *Result) {
 	if budget < 0 {
 		return
 	}
-	// Collect the movable clusters and the processors they may occupy:
-	// everything not pinned by a critical abstract node.
-	var freeClusters, freeProcs []int
-	for k, isFrozen := range res.FrozenClusters {
-		if !isFrozen {
-			freeClusters = append(freeClusters, k)
-			freeProcs = append(freeProcs, res.Assignment.ProcOf[k])
-		}
-	}
-	if len(freeClusters) < 2 {
+	if len(m.freeClusters) < 2 {
 		return // nothing can move
 	}
+	if m.opts.Move == FullReshuffle {
+		m.refineReshuffle(ctx, rng, ev, res, budget)
+		return
+	}
+	// RandomSwap trials are priced through a SwapSession: almost every
+	// trial is a rejected perturbation of the same incumbent, so candidate
+	// swaps are drawn ahead and evaluated SwapLanes at a time in one
+	// interleaved pass. Trials still resolve strictly in draw order against
+	// the incumbent they would have seen sequentially — when a trial is
+	// accepted, the not-yet-resolved candidates of its batch are re-priced
+	// against the new incumbent — so results are bit-identical to
+	// trial-at-a-time refinement, including the random stream (drawing
+	// consumes rng in draw order; evaluation consumes none).
+	freeClusters := m.freeClusters
+	current := res.Assignment
+	sess := ev.NewSwapSession(current)
+	const lanes = schedule.SwapLanes
+	var ks, ls, totals [lanes]int
+	var queue [lanes][2]int // drawn but unresolved candidate swaps
+	qlen, drawn := 0, 0
+	for res.Refinements < budget {
+		if ctx.Err() != nil {
+			break
+		}
+		for qlen < lanes && drawn < budget {
+			i, j := schedule.RandSwapPair(rng, len(freeClusters))
+			queue[qlen] = [2]int{freeClusters[i], freeClusters[j]}
+			qlen++
+			drawn++
+		}
+		batched := qlen == lanes
+		if batched {
+			for idx := 0; idx < lanes; idx++ {
+				ks[idx], ls[idx] = queue[idx][0], queue[idx][1]
+			}
+			sess.TrySwapBatch(&ks, &ls, &totals)
+		}
+		resolved := 0
+		accepted := false
+		for idx := 0; idx < qlen; idx++ {
+			k, l := queue[idx][0], queue[idx][1]
+			var total int
+			if batched {
+				total = totals[idx]
+			} else {
+				total = sess.TrySwap(k, l)
+			}
+			res.Refinements++
+			resolved++
+			if m.opts.RecordTrials {
+				res.Trials = append(res.Trials, total)
+			}
+			if !m.opts.DisableTermination && total == res.LowerBound {
+				res.Improved++
+				res.TotalTime = total
+				res.OptimalProven = true
+				current.Swap(k, l)
+				return
+			}
+			if total < res.TotalTime {
+				res.Improved++
+				res.TotalTime = total
+				sess.CommitSwap(k, l, total)
+				current.Swap(k, l)
+				if batched {
+					// The remaining lanes were priced against the old
+					// incumbent; requeue them for exact re-evaluation.
+					accepted = true
+					break
+				}
+			}
+		}
+		if accepted {
+			copy(queue[:], queue[resolved:qlen])
+		}
+		qlen -= resolved
+	}
+	res.OptimalProven = res.TotalTime == res.LowerBound
+}
+
+// refineReshuffle is the FullReshuffle refinement loop — the literal
+// §4.3.3 step 4(a): every trial randomly re-permutes all movable clusters,
+// so there is no incumbent locality for the batch session to exploit and
+// trials are priced with the full evaluation pass. The permutation and
+// trial buffers are hoisted out of the loop; schedule.RandPermInto draws
+// from rng exactly as rand.Perm does, keeping the random stream
+// bit-identical.
+func (m *Mapper) refineReshuffle(ctx context.Context, rng *rand.Rand, ev *schedule.Evaluator, res *Result, budget int) {
+	freeClusters, freeProcs := m.freeClusters, m.freeProcs
 	current := res.Assignment
 	trial := current.Clone()
+	perm := make([]int, len(freeProcs))
 	for t := 0; t < budget; t++ {
 		if ctx.Err() != nil {
 			break
 		}
 		res.Refinements++
-		switch m.opts.Move {
-		case FullReshuffle:
-			// Random permutation of the free processors among the free
-			// clusters — the literal §4.3.3 step 4(a).
-			perm := rng.Perm(len(freeProcs))
-			for i, k := range freeClusters {
-				trial.ProcOf[k] = freeProcs[perm[i]]
-			}
-		default: // RandomSwap
-			i := rng.Intn(len(freeClusters))
-			j := rng.Intn(len(freeClusters) - 1)
-			if j >= i {
-				j++
-			}
-			trial.Swap(freeClusters[i], freeClusters[j])
+		schedule.RandPermInto(rng, perm)
+		for i, k := range freeClusters {
+			trial.ProcOf[k] = freeProcs[perm[i]]
 		}
-		total := m.eval.TotalTime(trial)
+		total := ev.TotalTime(trial)
 		if m.opts.RecordTrials {
 			res.Trials = append(res.Trials, total)
 		}
@@ -306,7 +388,7 @@ func (m *Mapper) refine(ctx context.Context, rng *rand.Rand, res *Result) {
 			res.Improved++
 			res.TotalTime = total
 			res.OptimalProven = true
-			res.Assignment = trial.Clone()
+			res.Assignment = trial
 			return
 		}
 		if total < res.TotalTime {

@@ -60,10 +60,15 @@ func (m *Mapper) RunParallel(ctx context.Context) (*Result, error) {
 			Chain:            i,
 		}
 		rng := m.opts.Rand
+		ev := m.eval
 		if i > 0 {
 			rng = rand.New(rand.NewSource(parallel.DeriveSeed(seed, i)))
+			// Chains run concurrently and evaluation scratch is per
+			// evaluator, so every chain beyond the first works on a fork
+			// sharing the read-only precomputation.
+			ev = m.eval.Fork()
 		}
-		m.refine(chainCtx, rng, res)
+		m.refine(chainCtx, rng, ev, res)
 		results[i] = res
 		if res.OptimalProven && !m.opts.DisableTermination {
 			cancel()

@@ -1,0 +1,14 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§2.2 counterexamples, the §4 running example, and the §5
+// random-workload Tables 1–3 with their Figs. 25–27 histograms), plus the
+// ablation experiments listed in DESIGN.md and several extensions: the
+// exact-optimum gap (branch and bound), clustering-strategy and topology
+// comparisons, heterogeneous link delays, and a workload calibration sweep.
+//
+// Every experiment is deterministic: each instance derives its random
+// streams from Config.MasterSeed, so a table regenerates bit-for-bit.
+// Independent experiments fan out across Config.Workers goroutines on the
+// shared internal/parallel pool, and because randomness is derived rather
+// than shared, output is byte-identical at any worker count — the property
+// the determinism test suite pins.
+package experiment

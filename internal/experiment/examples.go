@@ -1,7 +1,3 @@
-// Package experiment regenerates every table and figure of the paper's
-// evaluation (§2.2 counterexamples, the §4 running example, and the §5
-// random-workload Tables 1–3 with their Figs. 25–27 histograms), plus the
-// ablation experiments listed in DESIGN.md.
 package experiment
 
 import (

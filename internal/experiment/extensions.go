@@ -106,8 +106,10 @@ func ExactGap(cfg Config) ([]ExactGapRow, error) {
 				return ExactGapRow{}, fmt.Errorf("exact solver did not prove optimality on experiment %d", i+1)
 			}
 			randomMean := 0.0
+			randA := schedule.NewAssignment(ns)
 			for t := 0; t < cfg.RandomTrials; t++ {
-				randomMean += float64(m.Evaluator().TotalTime(schedule.FromPerm(randRng.Perm(ns))))
+				schedule.RandPermInto(randRng, randA.ProcOf)
+				randomMean += float64(m.Evaluator().TotalTime(randA))
 			}
 			randomMean /= float64(cfg.RandomTrials)
 			return ExactGapRow{

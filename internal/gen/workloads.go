@@ -2,7 +2,9 @@ package gen
 
 import (
 	"fmt"
+	"math/rand"
 
+	"mimdmap/internal/cluster"
 	"mimdmap/internal/graph"
 )
 
@@ -210,4 +212,39 @@ func checkWeights(taskSize, commWeight int) error {
 		return fmt.Errorf("gen: communication weight must be positive, got %d", commWeight)
 	}
 	return nil
+}
+
+// TableInstance generates one Table 1–3 style benchmark workload for a
+// machine (§5 of the paper): a connected random DAG with the tables'
+// default density and weights (edge factor 3, task sizes [1,20], edge
+// weights [1,5]), sized np = 4·ns clamped to the paper's [30,300] range,
+// randomly clustered onto the machine's ns processors. Deterministic for a
+// seed; shared by the Go refinement benchmarks and the cmd/mapbench
+// -refinebench harness so both measure identical workloads.
+func TableInstance(ns int, seed int64) (*graph.Problem, *graph.Clustering, error) {
+	rng := rand.New(rand.NewSource(seed))
+	np := 4 * ns
+	if np < 30 {
+		np = 30
+	}
+	if np > 300 {
+		np = 300
+	}
+	prob, err := Random(RandomConfig{
+		Tasks:         np,
+		EdgeProb:      3.0 / float64(np),
+		MinTaskSize:   1,
+		MaxTaskSize:   20,
+		MinEdgeWeight: 1,
+		MaxEdgeWeight: 5,
+		Connected:     true,
+	}, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	clus, err := (&cluster.Random{Rand: rng}).Cluster(prob, ns)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prob, clus, nil
 }

@@ -1,16 +1,3 @@
-// Package parallel is the bounded worker-pool engine shared by the
-// experiment harness and the multi-start mapper: it fans independent tasks
-// out across a fixed number of goroutines with ordered result collection,
-// context cancellation, and deterministic per-task RNG seed derivation.
-//
-// # Determinism contract
-//
-// ForEach and Map call fn exactly once per index and slot results by index,
-// so collected output never depends on goroutine scheduling. Tasks must be
-// independent: any randomness a task consumes should come from a generator
-// seeded with DeriveSeed(root, i), never from a generator shared between
-// tasks. Under that discipline a fan-out produces byte-identical output at
-// any worker count, including the sequential workers == 1 path.
 package parallel
 
 import (

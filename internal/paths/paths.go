@@ -1,11 +1,3 @@
-// Package paths computes all-pairs shortest paths over system graphs.
-//
-// The mapping strategy needs the matrix shortest[ns][ns] (§3.4(b) of the
-// paper): the hop count of the shortest route between every pair of
-// processors, because a clustered problem edge mapped across distance d
-// costs weight×d. System links are unweighted, so breadth-first search from
-// every node is exact and fast; a Floyd–Warshall implementation is provided
-// as an independent oracle for cross-checking.
 package paths
 
 import (

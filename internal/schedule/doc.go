@@ -1,0 +1,41 @@
+// Package schedule evaluates assignments: given a problem graph, a
+// clustering, a mapping of clusters to processors, and the machine's
+// shortest-path table, it derives the communication matrix, the start and
+// end time of every task, and the total (complete) execution time of the
+// parallel program — Algorithms I–III of §4.3.4 of the paper.
+//
+// The execution model is the paper's: pure dataflow with no processor or
+// link contention. A task starts as soon as every predecessor has finished
+// and its message has crossed the network:
+//
+//	start[i] = max over predecessors j of (end[j] + comm[j][i])
+//	end[i]   = start[i] + task_size[i]
+//	comm[j][i] = clus_edge[j][i] × shortest[proc(j)][proc(i)]
+//
+// Predecessor structure always comes from the problem edge matrix —
+// including intra-cluster precedences whose communication cost is zero.
+//
+// # The hot path
+//
+// Evaluator.TotalTime is the cost function of the §4.3.3 refinement loop
+// and of every baseline searcher; the whole system's throughput is bounded
+// by how fast one trial assignment can be priced. An Evaluator therefore
+// precomputes a flattened, topologically renumbered predecessor CSR
+// (packed int32 edge records, weight 0 for intra-cluster precedences so
+// the loop stays branch-free) and a transposed flat distance matrix at
+// construction, and owns a reusable scratch arena so TotalTime and
+// EvaluateInto perform no per-call allocation. The arena makes an
+// Evaluator single-goroutine: concurrent evaluators (one per refinement
+// chain, one per solver worker) must each use their own handle, obtained
+// with Fork, which shares the read-only precomputation and costs only one
+// fresh arena.
+//
+// Refinement goes one step further: its trials are single swaps of a
+// shared incumbent, so a SwapSession (swap.go) drafts candidate swaps
+// ahead and prices SwapLanes of them in one interleaved pass, exactly and
+// allocation-free. See SwapSession's documentation for the protocol.
+//
+// A contention-aware evaluator (an extension beyond the paper, used only by
+// the ablation experiments) lives in contention.go; a link-contention
+// variant in linkcontention.go.
+package schedule

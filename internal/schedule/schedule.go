@@ -1,26 +1,9 @@
-// Package schedule evaluates assignments: given a problem graph, a
-// clustering, a mapping of clusters to processors, and the machine's
-// shortest-path table, it derives the communication matrix, the start and
-// end time of every task, and the total (complete) execution time of the
-// parallel program — Algorithms I–III of §4.3.4 of the paper.
-//
-// The execution model is the paper's: pure dataflow with no processor or
-// link contention. A task starts as soon as every predecessor has finished
-// and its message has crossed the network:
-//
-//	start[i] = max over predecessors j of (end[j] + comm[j][i])
-//	end[i]   = start[i] + task_size[i]
-//	comm[j][i] = clus_edge[j][i] × shortest[proc(j)][proc(i)]
-//
-// Predecessor structure always comes from the problem edge matrix —
-// including intra-cluster precedences whose communication cost is zero.
-//
-// A contention-aware evaluator (an extension beyond the paper, used only by
-// the ablation experiments) lives in contention.go.
 package schedule
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 
 	"mimdmap/internal/graph"
 	"mimdmap/internal/paths"
@@ -122,8 +105,16 @@ type Result struct {
 }
 
 // Evaluator computes total time for assignments of one (problem, clustering,
-// system) triple. It precomputes the clustered edge matrix and per-task
-// predecessor lists so repeated evaluation during refinement is cheap.
+// system) triple. It precomputes the clustered edge matrix, per-task
+// predecessor lists, and a flattened topologically renumbered predecessor
+// structure, so repeated evaluation during refinement performs no per-call
+// allocation.
+//
+// An Evaluator owns a scratch arena reused by TotalTime and EvaluateInto
+// and is therefore NOT safe for concurrent use. Concurrent callers — the
+// multi-start refinement chains, batch-solver workers — must each evaluate
+// through their own handle obtained with Fork, which shares the read-only
+// precomputation and allocates only a fresh arena.
 type Evaluator struct {
 	Prob  *graph.Problem
 	Clus  *graph.Clustering
@@ -132,6 +123,30 @@ type Evaluator struct {
 
 	order []int   // topological order of the task DAG
 	preds [][]int // preds[i]: predecessor tasks of i (problem edges)
+
+	// Hot-path precomputation, read-only after construction and shared by
+	// every Fork. Tasks are renumbered by topological position t (the task
+	// at position t is order[t]), so the evaluation loop walks all arrays
+	// sequentially; predecessor edges are packed into one int32 record
+	// stream per kind to keep the per-edge cache traffic to a single line.
+	ns        int        // number of processors
+	distT     []int      // distT[to*ns+from] = Dist.At(from, to), transposed flat
+	size      []int32    // size[t] = Prob.Size[order[t]]
+	clusOf    []int32    // clusOf[t] = Clus.Of[order[t]]
+	commOff   []int32    // CSR offsets (len n+1) into commEdges
+	commEdges []commEdge // predecessor edges in topo order (w == 0 when local)
+
+	// end is the per-evaluator scratch arena (end times by topo position).
+	// It is the only mutable state and the reason Fork exists.
+	end []int
+}
+
+// commEdge is one predecessor edge of a task: the predecessor's
+// topological position, its cluster, and the clustered edge weight
+// (0 for an intra-cluster precedence, whose communication is free —
+// 0×distance keeps the evaluation loops branch-free).
+type commEdge struct {
+	pred, clus, w int32
 }
 
 // NewEvaluator builds an evaluator. The problem graph must be acyclic (it
@@ -148,18 +163,82 @@ func NewEvaluator(p *graph.Problem, c *graph.Clustering, dist *paths.Table) (*Ev
 	if err != nil {
 		return nil, err
 	}
+	n := p.NumTasks()
 	e := &Evaluator{
 		Prob:  p,
 		Clus:  c,
 		Dist:  dist,
 		CEdge: graph.ClusteredEdges(p, c),
 		order: order,
-		preds: make([][]int, p.NumTasks()),
+		preds: make([][]int, n),
 	}
-	for i := 0; i < p.NumTasks(); i++ {
+	// The packed evaluation structures hold sizes and clustered weights as
+	// int32; reject inputs that would silently truncate (Validate only
+	// rejects negatives).
+	for i, size := range p.Size {
+		if size > math.MaxInt32 {
+			return nil, fmt.Errorf("schedule: task %d size %d exceeds the evaluator's %d limit", i, size, math.MaxInt32)
+		}
+	}
+	for j := range e.CEdge {
+		for i, w := range e.CEdge[j] {
+			if w > math.MaxInt32 {
+				return nil, fmt.Errorf("schedule: clustered edge %d→%d weight %d exceeds the evaluator's %d limit", j, i, w, math.MaxInt32)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
 		e.preds[i] = p.Preds(i)
 	}
+	e.precompute()
 	return e, nil
+}
+
+// precompute flattens the evaluation state: the transposed distance matrix
+// and the predecessor CSR split into communication-free and communicating
+// edges, both indexed by topological position.
+func (e *Evaluator) precompute() {
+	n := e.Prob.NumTasks()
+	ns := e.Dist.NumNodes()
+	e.ns = ns
+	e.distT = make([]int, ns*ns)
+	for from := 0; from < ns; from++ {
+		for to := 0; to < ns; to++ {
+			e.distT[to*ns+from] = e.Dist.At(from, to)
+		}
+	}
+	pos := make([]int32, n) // pos[task] = topological position
+	for t, i := range e.order {
+		pos[i] = int32(t)
+	}
+	e.size = make([]int32, n)
+	e.clusOf = make([]int32, n)
+	e.commOff = make([]int32, n+1)
+	for t, i := range e.order {
+		e.size[t] = int32(e.Prob.Size[i])
+		e.clusOf[t] = int32(e.Clus.Of[i])
+		e.commOff[t+1] = e.commOff[t] + int32(len(e.preds[i]))
+	}
+	e.commEdges = make([]commEdge, e.commOff[n])
+	q := 0
+	for _, i := range e.order {
+		for _, j := range e.preds[i] {
+			e.commEdges[q] = commEdge{pred: pos[j], clus: int32(e.Clus.Of[j]), w: int32(e.CEdge[j][i])}
+			q++
+		}
+	}
+	e.end = make([]int, n)
+}
+
+// Fork returns an independent evaluation handle: it shares every read-only
+// precomputed structure with e (problem, clustering, distances, CSR arrays)
+// but owns a fresh scratch arena, so e and the fork may evaluate
+// concurrently without locks. Forking costs one []int allocation of np
+// words.
+func (e *Evaluator) Fork() *Evaluator {
+	f := *e
+	f.end = make([]int, len(e.end))
+	return &f
 }
 
 // CommMatrix returns the communication matrix comm[np][np] under assignment
@@ -185,76 +264,143 @@ func (e *Evaluator) CommMatrix(a *Assignment) [][]int {
 
 // Evaluate computes start/end times and the total time of assignment a
 // (Algorithms II–III of §4.3.4). The paper's restartable marking loop is
-// equivalent to one pass in topological order, which is what we do.
+// equivalent to one pass in topological order, which is what we do. It
+// allocates a fresh Result per call; the refinement loop uses TotalTime,
+// and callers that re-evaluate in a loop should reuse one via EvaluateInto.
 func (e *Evaluator) Evaluate(a *Assignment) *Result {
-	n := e.Prob.NumTasks()
-	res := &Result{
-		Start: make([]int, n),
-		End:   make([]int, n),
-	}
-	for _, i := range e.order {
-		ci := e.Clus.Of[i]
-		pi := a.ProcOf[ci]
-		start := 0
-		for _, j := range e.preds[i] {
-			t := res.End[j]
-			if w := e.CEdge[j][i]; w > 0 {
-				t += w * e.Dist.At(a.ProcOf[e.Clus.Of[j]], pi)
-			}
-			if t > start {
-				start = t
-			}
-		}
-		res.Start[i] = start
-		res.End[i] = start + e.Prob.Size[i]
-		if res.End[i] > res.TotalTime {
-			res.TotalTime = res.End[i]
-		}
-	}
-	for i := 0; i < n; i++ {
-		if res.End[i] == res.TotalTime {
-			res.LatestTasks = append(res.LatestTasks, i)
-		}
-	}
+	res := &Result{}
+	e.EvaluateInto(a, res)
 	return res
 }
 
-// TotalTime is Evaluate without materialising per-task results; it is the
-// hot path of the refinement loop.
-func (e *Evaluator) TotalTime(a *Assignment) int {
-	end := make([]int, e.Prob.NumTasks())
+// EvaluateInto is Evaluate writing into res, reusing its slices when their
+// capacity allows: with a warmed Result (one prior call on the same
+// evaluator shape) it performs no allocation. Like TotalTime it uses the
+// evaluator's scratch arena, so concurrent callers need their own Fork.
+func (e *Evaluator) EvaluateInto(a *Assignment, res *Result) {
+	n := len(e.size)
+	res.Start = growInts(res.Start, n)
+	res.End = growInts(res.End, n)
+	res.LatestTasks = res.LatestTasks[:0]
+	res.TotalTime = 0
+	end := e.end
+	procOf := a.ProcOf
 	total := 0
-	for _, i := range e.order {
-		pi := a.ProcOf[e.Clus.Of[i]]
+	for t := 0; t < n; t++ {
 		start := 0
-		for _, j := range e.preds[i] {
-			t := end[j]
-			if w := e.CEdge[j][i]; w > 0 {
-				t += w * e.Dist.At(a.ProcOf[e.Clus.Of[j]], pi)
-			}
-			if t > start {
-				start = t
+		if ces := e.commEdges[e.commOff[t]:e.commOff[t+1]]; len(ces) > 0 {
+			base := procOf[e.clusOf[t]] * e.ns
+			for _, ce := range ces {
+				if v := end[ce.pred] + int(ce.w)*e.distT[base+procOf[ce.clus]]; v > start {
+					start = v
+				}
 			}
 		}
-		end[i] = start + e.Prob.Size[i]
-		if end[i] > total {
-			total = end[i]
+		v := start + int(e.size[t])
+		end[t] = v
+		i := e.order[t]
+		res.Start[i] = start
+		res.End[i] = v
+		if v > total {
+			total = v
+		}
+	}
+	res.TotalTime = total
+	for i := 0; i < n; i++ {
+		if res.End[i] == total {
+			res.LatestTasks = append(res.LatestTasks, i)
+		}
+	}
+}
+
+// TotalTime is Evaluate without materialising per-task results; it is the
+// hot path of the refinement loop and performs no allocation: end times
+// live in the evaluator's scratch arena and every lookup walks the
+// flattened CSR arrays in topological order. Concurrent callers must each
+// use their own Fork.
+func (e *Evaluator) TotalTime(a *Assignment) int {
+	return e.fillEnds(a.ProcOf, e.end)
+}
+
+// fillEnds runs the topological evaluation pass, writing the end time of
+// every task (by topological position) into end and returning the
+// makespan. It is the shared body of TotalTime and SwapSession priming.
+func (e *Evaluator) fillEnds(procOf []int, end []int) int {
+	commOff, commEdges := e.commOff, e.commEdges
+	clusOf, size, distT, ns := e.clusOf, e.size, e.distT, e.ns
+	total := 0
+	for t := range end {
+		start := 0
+		if ces := commEdges[commOff[t]:commOff[t+1]]; len(ces) > 0 {
+			base := procOf[clusOf[t]] * ns
+			for _, ce := range ces {
+				if v := end[ce.pred] + int(ce.w)*distT[base+procOf[ce.clus]]; v > start {
+					start = v
+				}
+			}
+		}
+		v := start + int(size[t])
+		end[t] = v
+		if v > total {
+			total = v
 		}
 	}
 	return total
 }
 
+// growInts returns s resized to n, reusing its backing array when the
+// capacity allows and allocating otherwise.
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+// RandPermInto fills p with a random permutation of [0,len(p)), consuming
+// rng exactly as rand.Perm does (the same Intn sequence) but into a
+// caller-owned buffer. Trial loops that draw fresh permutations — random
+// mappings, the FullReshuffle refinement — hoist their buffer and stay
+// allocation-free without changing their random stream.
+func RandPermInto(rng *rand.Rand, p []int) {
+	for i := range p {
+		j := rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+}
+
+// RandSwapPair draws two distinct indices from [0,k) with exactly two Intn
+// calls — the §4.3.3 RandomSwap move's draw. It is the single definition of
+// the refinement trial distribution, shared by core.refine and the
+// benchmarks that claim to measure it; k must be at least 2.
+func RandSwapPair(rng *rand.Rand, k int) (i, j int) {
+	i = rng.Intn(k)
+	j = rng.Intn(k - 1)
+	if j >= i {
+		j++
+	}
+	return i, j
+}
+
 // Cardinality returns Bokhari's mapping-quality measure under assignment a:
 // the number of clustered problem edges whose endpoint clusters land on
 // directly linked processors (distance exactly 1). Intra-cluster edges do
-// not count. Used by the §2.2 counterexample and the cardinality baseline.
+// not count. Used by the §2.2 counterexample and the cardinality baseline,
+// whose pairwise-exchange ascent hammers it; walking the edge CSR instead
+// of the n×n clustered matrix makes each call O(edges), allocation-free.
 func (e *Evaluator) Cardinality(a *Assignment) int {
 	card := 0
-	n := e.Prob.NumTasks()
-	for j := 0; j < n; j++ {
-		for i := 0; i < n; i++ {
-			if e.CEdge[j][i] > 0 &&
-				e.Dist.At(a.ProcOf[e.Clus.Of[j]], a.ProcOf[e.Clus.Of[i]]) == 1 {
+	procOf := a.ProcOf
+	for t := range e.size {
+		ces := e.commEdges[e.commOff[t]:e.commOff[t+1]]
+		if len(ces) == 0 {
+			continue
+		}
+		base := procOf[e.clusOf[t]] * e.ns
+		for i := range ces {
+			ce := &ces[i]
+			if ce.w > 0 && e.distT[base+procOf[ce.clus]] == 1 {
 				card++
 			}
 		}

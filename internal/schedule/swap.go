@@ -1,0 +1,179 @@
+package schedule
+
+// SwapLanes is the width of SwapSession.TrySwapBatch: how many candidate
+// swaps one interleaved evaluation pass prices at once.
+const SwapLanes = 8
+
+// SwapSession is the refinement loop's trial evaluator: it prices
+// single-swap perturbations of a committed incumbent assignment, either one
+// at a time (TrySwap) or SwapLanes at a time in one interleaved evaluation
+// pass (TrySwapBatch).
+//
+// The batch kernel is where the speed comes from. The §4.3.3 refinement
+// evaluates a stream of candidate swaps of which almost all are rejected,
+// and consecutive candidates are independent perturbations of the same
+// incumbent — so eight of them can share one topological pass. Each edge
+// record, offset, task size and cluster id is loaded once for all eight
+// lanes, the eight end times of a task live in one cache line, and the
+// eight independent dependency chains hide the latency of the distance
+// lookups that dominate a scalar pass. Totals are exact — identical to a
+// full Evaluator.TotalTime of each swapped assignment — so accept/reject
+// decisions stay bit-identical to trial-at-a-time refinement.
+//
+// Protocol: TrySwap/TrySwapBatch never change the committed state; Commit
+// promotes the most recent TrySwap (or one lane of the most recent batch,
+// chosen by the caller re-issuing TrySwap semantics — see core.refine) in
+// O(1) by applying the swap to the incumbent. A session allocates only at
+// construction; TrySwap, TrySwapBatch and Commit are allocation-free.
+// Sessions share the Evaluator's read-only precomputation, so concurrent
+// refinement chains may each run their own session against one Evaluator
+// without locks.
+type SwapSession struct {
+	e *Evaluator
+	a *Assignment // committed incumbent (private copy)
+
+	total   int   // committed total time
+	scratch []int // end times of the scalar TrySwap pass
+
+	endB  [][SwapLanes]int // lane-interleaved end times of the batch pass
+	procT []int            // lane-major processor views: procT[c*SwapLanes+l]
+	laneK [SwapLanes]int   // swap currently applied to each lane view
+	laneL [SwapLanes]int
+	lanesDirty bool // lane views no longer mirror the incumbent
+
+	lastK, lastL, lastTotal int
+	pending                 bool
+}
+
+// NewSwapSession evaluates a fully and returns a session committed to it.
+// The assignment is copied; the caller's copy stays untouched. Construction
+// is the only allocating step.
+func (e *Evaluator) NewSwapSession(a *Assignment) *SwapSession {
+	n := len(e.size)
+	s := &SwapSession{
+		e:       e,
+		a:       a.Clone(),
+		scratch: make([]int, n),
+		endB:    make([][SwapLanes]int, n),
+	}
+	s.procT = make([]int, a.K()*SwapLanes)
+	s.lanesDirty = true
+	s.total = e.fillEnds(s.a.ProcOf, s.scratch)
+	return s
+}
+
+// TotalTime returns the committed incumbent's total time.
+func (s *SwapSession) TotalTime() int { return s.total }
+
+// TrySwap returns the exact total time of the incumbent with clusters k and
+// l exchanged, without committing. Call Commit to accept the trial.
+func (s *SwapSession) TrySwap(k, l int) int {
+	s.a.Swap(k, l)
+	total := s.e.fillEnds(s.a.ProcOf, s.scratch)
+	s.a.Swap(k, l)
+	s.lastK, s.lastL, s.lastTotal, s.pending = k, l, total, true
+	return total
+}
+
+// Commit promotes the most recent TrySwap trial to committed state in
+// O(1). It panics if no trial is pending. To accept a TrySwapBatch lane,
+// use CommitSwap with the lane's clusters and total.
+func (s *SwapSession) Commit() {
+	if !s.pending {
+		panic("schedule: SwapSession.Commit without a pending TrySwap")
+	}
+	s.CommitSwap(s.lastK, s.lastL, s.lastTotal)
+}
+
+// CommitSwap accepts the swap of clusters k and l whose exact total time
+// the caller already knows from a TrySwap or TrySwapBatch lane. It applies
+// the swap to the incumbent without re-evaluating anything.
+func (s *SwapSession) CommitSwap(k, l, total int) {
+	s.a.Swap(k, l)
+	s.total = total
+	s.pending = false
+	s.lanesDirty = true
+}
+
+// TrySwapBatch prices SwapLanes candidate swaps of the incumbent in one
+// interleaved evaluation pass: lane i is the incumbent with clusters ks[i]
+// and ls[i] exchanged, and totals[i] receives its exact total time. Lanes
+// are independent — duplicates are fine — and nothing is committed.
+func (s *SwapSession) TrySwapBatch(ks, ls *[SwapLanes]int, totals *[SwapLanes]int) {
+	e := s.e
+	procT := s.procT
+	if s.lanesDirty {
+		for c, v := range s.a.ProcOf {
+			row := procT[c*SwapLanes : c*SwapLanes+SwapLanes]
+			for l := range row {
+				row[l] = v
+			}
+		}
+		s.lanesDirty = false
+	} else {
+		// Undo each lane's previous swap; a swap is its own inverse.
+		for lane := 0; lane < SwapLanes; lane++ {
+			ki, li := s.laneK[lane]*SwapLanes+lane, s.laneL[lane]*SwapLanes+lane
+			procT[ki], procT[li] = procT[li], procT[ki]
+		}
+	}
+	for lane := 0; lane < SwapLanes; lane++ {
+		ki, li := ks[lane]*SwapLanes+lane, ls[lane]*SwapLanes+lane
+		procT[ki], procT[li] = procT[li], procT[ki]
+		s.laneK[lane], s.laneL[lane] = ks[lane], ls[lane]
+	}
+	endB := s.endB
+	var totalB [SwapLanes]int
+	commOff, commEdges := e.commOff, e.commEdges
+	clusOf, size, distT, ns := e.clusOf, e.size, e.distT, e.ns
+	for t := range endB {
+		var start [SwapLanes]int
+		if ces := commEdges[commOff[t]:commOff[t+1]]; len(ces) > 0 {
+			c := int(clusOf[t]) * SwapLanes
+			pc := procT[c : c+SwapLanes]
+			b0, b1, b2, b3 := pc[0]*ns, pc[1]*ns, pc[2]*ns, pc[3]*ns
+			b4, b5, b6, b7 := pc[4]*ns, pc[5]*ns, pc[6]*ns, pc[7]*ns
+			for i := range ces {
+				ce := &ces[i]
+				pe := &endB[ce.pred]
+				w := int(ce.w)
+				cl := int(ce.clus) * SwapLanes
+				pp := procT[cl : cl+SwapLanes]
+				if v := pe[0] + w*distT[b0+pp[0]]; v > start[0] {
+					start[0] = v
+				}
+				if v := pe[1] + w*distT[b1+pp[1]]; v > start[1] {
+					start[1] = v
+				}
+				if v := pe[2] + w*distT[b2+pp[2]]; v > start[2] {
+					start[2] = v
+				}
+				if v := pe[3] + w*distT[b3+pp[3]]; v > start[3] {
+					start[3] = v
+				}
+				if v := pe[4] + w*distT[b4+pp[4]]; v > start[4] {
+					start[4] = v
+				}
+				if v := pe[5] + w*distT[b5+pp[5]]; v > start[5] {
+					start[5] = v
+				}
+				if v := pe[6] + w*distT[b6+pp[6]]; v > start[6] {
+					start[6] = v
+				}
+				if v := pe[7] + w*distT[b7+pp[7]]; v > start[7] {
+					start[7] = v
+				}
+			}
+		}
+		sz := int(size[t])
+		eb := &endB[t]
+		for l := 0; l < SwapLanes; l++ {
+			v := start[l] + sz
+			eb[l] = v
+			if v > totalB[l] {
+				totalB[l] = v
+			}
+		}
+	}
+	*totals = totalB
+}

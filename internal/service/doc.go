@@ -1,0 +1,27 @@
+// Package service is the context-first solver layer of mimdmap: a
+// request/response API over the paper's mapping strategy (§4.3), designed
+// for the scenarios job mapping meets in practice — resource managers and
+// placement services fielding streams of requests against a fixed machine.
+//
+// A Request names a complete mapping run declaratively: the problem graph,
+// the machine (given directly or as a topology spec), the clustering (given
+// directly or as a registered clusterer name), one seed, and the mapper
+// options. A Solver turns requests into Responses — result, evaluated
+// schedule, diagnostics, timing — one at a time (Solve) or as a batch
+// fanned out over the shared worker pool (SolveBatch). Solvers are safe for
+// concurrent use and cache the all-pairs shortest-path table per machine,
+// so repeated requests against the same system amortise paths.New.
+//
+// Determinism contract: a Request carrying an explicit Clustering and
+// Options.Starts <= 1 is solved bit-identically to the sequential paper
+// strategy (core.Mapper.Run) for the same seed, and SolveBatch output is
+// independent of the worker count, because every request derives its random
+// streams from its own seed and results are collected by index.
+//
+// Concurrency contract: the shared distance-table and topology caches are
+// the only state Solve touches under a lock. Everything downstream — the
+// mapper, its evaluator, the refinement chains — is built per request, and
+// refinement chains within a request evaluate on per-chain evaluator forks,
+// so concurrent solves and batch workers never contend on evaluation
+// scratch state.
+package service

@@ -1,22 +1,3 @@
-// Package service is the context-first solver layer of mimdmap: a
-// request/response API over the paper's mapping strategy, designed for the
-// scenarios job mapping meets in practice — resource managers and placement
-// services fielding streams of requests against a fixed machine.
-//
-// A Request names a complete mapping run declaratively: the problem graph,
-// the machine (given directly or as a topology spec), the clustering (given
-// directly or as a registered clusterer name), one seed, and the mapper
-// options. A Solver turns requests into Responses — result, evaluated
-// schedule, diagnostics, timing — one at a time (Solve) or as a batch
-// fanned out over the shared worker pool (SolveBatch). Solvers are safe for
-// concurrent use and cache the all-pairs shortest-path table per machine,
-// so repeated requests against the same system amortise paths.New.
-//
-// Determinism contract: a Request carrying an explicit Clustering and
-// Options.Starts <= 1 is solved bit-identically to the sequential paper
-// strategy (core.Mapper.Run) for the same seed, and SolveBatch output is
-// independent of the worker count, because every request derives its random
-// streams from its own seed and results are collected by index.
 package service
 
 import (
