@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-refine bench-smoke ci clean
+.PHONY: all build test race vet bench bench-refine bench-search bench-smoke ci clean
 
 all: ci
 
@@ -32,11 +32,19 @@ bench:
 bench-refine:
 	$(GO) run ./cmd/mapbench -refinebench -bench-out BENCH_refine.json
 
+# Measure every registered search strategy on the batched swap kernel
+# (median of 3, ns/trial + trials/sec per refiner) and append the entry to
+# the recorded trajectory.
+bench-search:
+	$(GO) run ./cmd/mapbench -searchbench -bench-out BENCH_search.json
+
 # Fast benchmark gate for CI: the Go refinement benchmarks at a short
-# benchtime plus one quick harness pass, so neither can rot unnoticed.
+# benchtime plus one quick pass of each harness (refinement kernel and the
+# per-refiner search benchmark), so none can rot unnoticed.
 bench-smoke:
 	$(GO) test -bench Refine -benchtime 10x -run '^$$' ./internal/schedule/
 	$(GO) run ./cmd/mapbench -refinebench -bench-quick
+	$(GO) run ./cmd/mapbench -searchbench -bench-quick
 
 ci: build vet test race bench-smoke
 

@@ -57,6 +57,7 @@ type benchFlags struct {
 	extension   bool
 	sweep       bool
 	refinebench bool
+	searchbench bool
 	benchOut    string
 	benchLabel  string
 	benchQuick  bool
@@ -78,10 +79,12 @@ func parseFlags(args []string) (benchFlags, error) {
 		edgeWeight = fs.Int("edgeweight", 0, "maximum communication weight (0 = default)")
 		workers    = fs.Int("workers", 0, "max concurrent experiments (0 = all CPUs, 1 = sequential)")
 		starts     = fs.Int("starts", 0, "multi-start refinement chains per mapping in the table, extension and sweep experiments (0 or 1 = single chain)")
+		refiner    = fs.String("refiner", "", "search strategy refining the table and sweep mappings (default: the paper's random-change refinement): "+experiment.RefinerUsage())
 		refine     = fs.Bool("refinebench", false, "run only the refinement hot-path benchmark (batched swap trials on Table 1-3 style workloads)")
-		benchOut   = fs.String("bench-out", "", "with -refinebench: append the measured entry to this JSON trajectory file (e.g. BENCH_refine.json); empty = print only")
-		benchLabel = fs.String("bench-label", "", "with -refinebench: label of the recorded entry (default \"current\")")
-		benchQuick = fs.Bool("bench-quick", false, "with -refinebench: fast single-pass measurement for CI smoke tests")
+		searchb    = fs.Bool("searchbench", false, "run only the search-strategy benchmark (trials/sec of every registered refiner; see -bench-out)")
+		benchOut   = fs.String("bench-out", "", "with -refinebench/-searchbench: append the measured entry to this JSON trajectory file (e.g. BENCH_refine.json, BENCH_search.json); empty = print only")
+		benchLabel = fs.String("bench-label", "", "with -refinebench/-searchbench: label of the recorded entry (default \"current\")")
+		benchQuick = fs.Bool("bench-quick", false, "with -refinebench/-searchbench: fast single-pass measurement for CI smoke tests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return benchFlags{}, err
@@ -95,6 +98,7 @@ func parseFlags(args []string) (benchFlags, error) {
 			EdgeWeightMax: *edgeWeight,
 			Workers:       *workers,
 			Starts:        *starts,
+			Refiner:       *refiner,
 		},
 		table:       *table,
 		fig:         *fig,
@@ -102,6 +106,7 @@ func parseFlags(args []string) (benchFlags, error) {
 		extension:   *extension,
 		sweep:       *sweep,
 		refinebench: *refine,
+		searchbench: *searchb,
 		benchOut:    *benchOut,
 		benchLabel:  *benchLabel,
 		benchQuick:  *benchQuick,
@@ -123,6 +128,9 @@ func report(f benchFlags, w io.Writer) error {
 	cfg := f.cfg
 	if f.refinebench {
 		return refineBenchReport(w, cfg.MasterSeed, f.benchLabel, f.benchOut, f.benchQuick)
+	}
+	if f.searchbench {
+		return searchBenchReport(w, cfg.MasterSeed, f.benchLabel, f.benchOut, f.benchQuick)
 	}
 	all := f.table == 0 && f.fig == "" && !f.ablation && !f.extension && !f.sweep
 
@@ -179,6 +187,7 @@ func report(f benchFlags, w io.Writer) error {
 		for _, rep := range []func(experiment.Config) (string, error){
 			experiment.ExactGapReport,
 			experiment.CompareClusterersReport,
+			experiment.CompareRefinersReport,
 			experiment.HeteroLinksReport,
 			experiment.CompareTopologiesReport,
 		} {

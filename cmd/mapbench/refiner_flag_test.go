@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRefinerFlagDrivesTables: -refiner swaps the refinement strategy of
+// the table experiments; the default equals -refiner paper byte for byte,
+// and unknown names fail with the registered list.
+func TestRefinerFlagDrivesTables(t *testing.T) {
+	render := func(args ...string) string {
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		return out.String()
+	}
+	def := render("-table", "2", "-trials", "2")
+	paper := render("-table", "2", "-trials", "2", "-refiner", "paper")
+	if def != paper {
+		t.Fatalf("-refiner paper differs from the default:\n--- default ---\n%s\n--- paper ---\n%s", def, paper)
+	}
+	pairwise := render("-table", "2", "-trials", "2", "-refiner", "pairwise")
+	if pairwise == "" || !strings.Contains(pairwise, "Table 2") {
+		t.Fatal("-refiner pairwise produced no table")
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-table", "2", "-trials", "2", "-refiner", "bogus"}, &out); err == nil {
+		t.Fatal("unknown -refiner accepted")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("error does not name the bad refiner: %v", err)
+	}
+}

@@ -1,0 +1,185 @@
+package main
+
+// The -searchbench mode measures every registered search strategy on the
+// batched SwapSession kernel — the equal-budget race of the pluggable
+// refiner seam, timed instead of scored. Each (workload, refiner) pair
+// reports ns/trial and trials/sec, and the results accumulate in a JSON
+// trajectory (BENCH_search.json at the repo root), so regressions in any
+// strategy's hot path show up in the recorded history exactly like the
+// refinement-kernel trajectory in BENCH_refine.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"mimdmap/internal/gen"
+	"mimdmap/internal/graph"
+	"mimdmap/internal/paths"
+	"mimdmap/internal/schedule"
+	"mimdmap/internal/search"
+	"mimdmap/internal/topology"
+)
+
+// searchWorkload is the measurement of one (workload, refiner) pair.
+type searchWorkload struct {
+	Name         string  `json:"name"`
+	Refiner      string  `json:"refiner"`
+	NP           int     `json:"np"`
+	NS           int     `json:"ns"`
+	NsPerTrial   float64 `json:"ns_per_trial"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+}
+
+// searchEntry is one labelled benchmark run.
+type searchEntry struct {
+	Label     string           `json:"label"`
+	Date      string           `json:"date"`
+	GoVersion string           `json:"go_version"`
+	Workloads []searchWorkload `json:"workloads"`
+}
+
+// searchFile is the on-disk shape of BENCH_search.json.
+type searchFile struct {
+	Description string        `json:"description"`
+	Entries     []searchEntry `json:"entries"`
+}
+
+// measureSearchTrials times one strategy on one workload: Refine runs
+// against a session until target trials are spent, reshuffling to a fresh
+// random incumbent whenever the strategy converges early (pairwise local
+// optima, annealing freeze-out), so rates reflect steady-state searching
+// rather than one lucky descent. The reshuffle evaluations are not counted.
+func measureSearchTrials(e *schedule.Evaluator, k int, r search.Refiner, seed int64, target int) (nsPerTrial, trialsPerSec float64, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	sess := e.NewSwapSession(schedule.FromPerm(rng.Perm(k)))
+	perm := make([]int, k)
+	b := search.Budget{DisableTermination: true}
+	trials := 0
+	var reshuffle time.Duration
+	began := time.Now()
+	for trials < target {
+		b.Trials = target - trials
+		tr := r.Refine(context.Background(), sess, b, rng)
+		if tr.Trials == 0 {
+			return 0, 0, fmt.Errorf("searchbench: %s spent no trials with budget %d", r.Name(), b.Trials)
+		}
+		trials += tr.Trials
+		if trials >= target {
+			break
+		}
+		rs := time.Now()
+		schedule.RandPermInto(rng, perm)
+		sess.CommitAssign(perm, sess.TryAssign(perm))
+		reshuffle += time.Since(rs)
+	}
+	elapsed := time.Since(began) - reshuffle
+	nsPerTrial = float64(elapsed.Nanoseconds()) / float64(trials)
+	if nsPerTrial > 0 {
+		trialsPerSec = 1e9 / nsPerTrial
+	}
+	return nsPerTrial, trialsPerSec, nil
+}
+
+// searchBenchReport runs the harness and appends one labelled entry to the
+// JSON trajectory at outPath ("" prints to w only). quick runs a single
+// short pass per pair (the CI smoke gate) instead of the recorded
+// median-of-3.
+func searchBenchReport(w io.Writer, seed int64, label, outPath string, quick bool) error {
+	if seed == 0 {
+		seed = 1991
+	}
+	if label == "" {
+		label = "current"
+	}
+	specs := []struct {
+		name string
+		sys  *graph.System
+	}{
+		{"table1/hypercube-32", topology.Hypercube(5)},
+		{"table2/mesh-4x4", topology.Mesh(4, 4)},
+		{"table3/random-24", topology.Random(24, 0.08, rand.New(rand.NewSource(seed+100)))},
+	}
+	rounds, target := 3, 1<<16
+	if quick {
+		rounds, target = 1, 4096
+	}
+	entry := searchEntry{
+		Label:     label,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+	}
+	fmt.Fprintf(w, "=== Search-strategy benchmark (%s) ===\n", label)
+	fmt.Fprintf(w, "%-22s %-16s %6s %4s %14s %14s\n", "workload", "refiner", "np", "ns", "ns/trial", "trials/sec")
+	for _, sp := range specs {
+		ns := sp.sys.NumNodes()
+		prob, clus, err := gen.TableInstance(ns, seed+int64(ns)*7919)
+		if err != nil {
+			return fmt.Errorf("searchbench %s: %w", sp.name, err)
+		}
+		e, err := schedule.NewEvaluator(prob, clus, paths.New(sp.sys))
+		if err != nil {
+			return err
+		}
+		for _, name := range search.RefinerNames() {
+			r, err := search.RefinerByName(name)
+			if err != nil {
+				return err
+			}
+			samples := make([]float64, 0, rounds)
+			for round := 0; round < rounds; round++ {
+				nsT, _, err := measureSearchTrials(e, clus.K, r, seed+int64(round), target)
+				if err != nil {
+					return err
+				}
+				samples = append(samples, nsT)
+			}
+			sort.Float64s(samples)
+			nsT := samples[len(samples)/2]
+			perSec := 0.0
+			if nsT > 0 {
+				perSec = 1e9 / nsT
+			}
+			wl := searchWorkload{
+				Name:         sp.name,
+				Refiner:      name,
+				NP:           prob.NumTasks(),
+				NS:           ns,
+				NsPerTrial:   nsT,
+				TrialsPerSec: perSec,
+			}
+			entry.Workloads = append(entry.Workloads, wl)
+			fmt.Fprintf(w, "%-22s %-16s %6d %4d %14.0f %14.0f\n",
+				wl.Name, wl.Refiner, wl.NP, wl.NS, wl.NsPerTrial, wl.TrialsPerSec)
+		}
+	}
+	if outPath == "" {
+		return nil
+	}
+	file := searchFile{
+		Description: "Search-strategy trajectory: trials/sec of every registered refiner on the batched SwapSession kernel, Table 1–3 style workloads. Regenerate with `make bench-search`.",
+	}
+	if data, err := os.ReadFile(outPath); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("searchbench: %s exists but is not valid JSON: %w", outPath, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	file.Entries = append(file.Entries, entry)
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "recorded entry %q in %s (%d entries)\n", label, outPath, len(file.Entries))
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mimdmap/internal/search"
+)
+
+// TestSearchBenchQuickSmoke drives the whole per-refiner benchmark path:
+// every registered strategy must appear once per workload.
+func TestSearchBenchQuickSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-searchbench", "-bench-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, name := range search.RefinerNames() {
+		if strings.Count(report, " "+name+" ") < 3 {
+			t.Fatalf("refiner %q missing from some workloads:\n%s", name, report)
+		}
+	}
+}
+
+// TestSearchBenchRecordsTrajectory: repeated runs append labelled entries
+// to the JSON file instead of overwriting it.
+func TestSearchBenchRecordsTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_search.json")
+	for _, label := range []string{"first", "second"} {
+		var out strings.Builder
+		if err := run([]string{"-searchbench", "-bench-quick", "-bench-label", label, "-bench-out", path}, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file searchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("trajectory not valid JSON: %v\n%s", err, data)
+	}
+	if len(file.Entries) != 2 || file.Entries[0].Label != "first" || file.Entries[1].Label != "second" {
+		t.Fatalf("trajectory entries wrong: %+v", file.Entries)
+	}
+	want := 3 * len(search.RefinerNames())
+	for _, e := range file.Entries {
+		if len(e.Workloads) != want {
+			t.Fatalf("entry %q has %d workloads, want %d", e.Label, len(e.Workloads), want)
+		}
+		for _, wl := range e.Workloads {
+			if wl.NsPerTrial <= 0 || wl.TrialsPerSec <= 0 {
+				t.Fatalf("entry %q workload %s/%s has non-positive rates: %+v", e.Label, wl.Name, wl.Refiner, wl)
+			}
+		}
+	}
+}

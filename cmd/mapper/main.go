@@ -16,7 +16,10 @@
 // clusterer, random topologies, the refinement chains, and the comparison
 // trials all derive from it, so one seed reproduces the whole run.
 // -starts N refines N independent seeded chains concurrently and keeps the
-// best mapping; -workers caps the concurrency (0 = all CPUs).
+// best mapping; -workers caps the concurrency (0 = all CPUs). -refiner
+// swaps the refinement strategy for any registered search strategy
+// (mimdmap.RefinerNames) — all priced through the same batched swap kernel
+// at the same trial budget.
 package main
 
 import (
@@ -53,6 +56,7 @@ func run(args []string, stdout io.Writer) error {
 		topoSpec  = fs.String("topology", "", "alternatively, a topology spec like mesh-4x4")
 		clusPath  = fs.String("clus", "", "clustering file")
 		clusterer = fs.String("clusterer", "", "or cluster on the fly: "+mimdmap.ClustererUsage())
+		refiner   = fs.String("refiner", "", "search strategy refining the mapping (default: the paper's random-change refinement): "+mimdmap.RefinerUsage())
 		seed      = fs.Int64("seed", 1, "root seed for every random stream: clustering, topology, refinement, trials")
 		refines   = fs.Int("refinements", 0, "refinement budget (0 = paper default of ns)")
 		full      = fs.Bool("full-propagation", false, "use full critical-edge propagation")
@@ -79,6 +83,7 @@ func run(args []string, stdout io.Writer) error {
 		Problem:   prob,
 		Topology:  *topoSpec,
 		Clusterer: *clusterer,
+		Refiner:   *refiner,
 		Seed:      *seed,
 	}
 	req.Options.MaxRefinements = *refines
@@ -112,6 +117,9 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "initial assignment: %d\n", res.InitialTotalTime)
 	fmt.Fprintf(stdout, "final total time:   %d (%.1f%% of bound) after %d refinements\n",
 		res.TotalTime, 100*float64(res.TotalTime)/float64(res.LowerBound), res.Refinements)
+	if *refiner != "" {
+		fmt.Fprintf(stdout, "refiner:            %s\n", resp.Diagnostics.Refiner)
+	}
 	if *starts > 1 {
 		fmt.Fprintf(stdout, "multi-start:        best of %d chains (chain %d won)\n", *starts, res.Chain)
 	}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mimdmap"
+)
+
+// TestMapperRefinerFlag: -refiner swaps the search strategy, is echoed in
+// the report, and rejects unknown names with the registered list.
+func TestMapperRefinerFlag(t *testing.T) {
+	dir := t.TempDir()
+	probPath, sysPath, clusPath := writeInstance(t, dir)
+	for _, name := range mimdmap.RefinerNames() {
+		out := runMapper(t, "-prob", probPath, "-sys", sysPath, "-clus", clusPath, "-refiner", name)
+		if !strings.Contains(out, "refiner:            "+name) {
+			t.Fatalf("-refiner %s not echoed in report:\n%s", name, out)
+		}
+	}
+	// The default run and an explicit -refiner paper must print identical
+	// mapping results (the default IS the paper strategy); only the echo
+	// line differs.
+	def := runMapper(t, "-prob", probPath, "-sys", sysPath, "-clus", clusPath)
+	named := runMapper(t, "-prob", probPath, "-sys", sysPath, "-clus", clusPath, "-refiner", "paper")
+	stripped := strings.Replace(named, "refiner:            paper\n", "", 1)
+	if stripped != def {
+		t.Fatalf("-refiner paper changed the report:\n--- default ---\n%s\n--- paper ---\n%s", def, named)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-prob", probPath, "-sys", sysPath, "-clus", clusPath, "-refiner", "bogus"}, &out); err == nil {
+		t.Fatal("unknown -refiner accepted")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("error does not name the bad refiner: %v", err)
+	}
+}

@@ -12,8 +12,9 @@
 //
 // Endpoints:
 //
-//	POST /solve    solve one mapping request (JSON in, JSON out)
-//	GET  /healthz  liveness probe
+//	POST /solve       solve one mapping request (JSON in, JSON out)
+//	GET  /healthz     liveness probe
+//	GET  /strategies  registered clusterers and refiners, as JSON
 //
 // A request names the machine either by topology spec or by a system graph
 // in the text format of the cmd tools, and the clustering either by
@@ -128,6 +129,9 @@ type solveRequest struct {
 	// clustering step; exactly one must be set.
 	Clustering string `json:"clustering,omitempty"`
 	Clusterer  string `json:"clusterer,omitempty"`
+	// Refiner names the registered search strategy refining the mapping
+	// (GET /strategies lists them; empty = the paper's refinement).
+	Refiner string `json:"refiner,omitempty"`
 	// Seed drives every random stream of the request (0 = 1).
 	Seed int64 `json:"seed,omitempty"`
 	// Starts races this many refinement chains (0 or 1 = single chain).
@@ -152,6 +156,7 @@ type solveResponse struct {
 	Machine          string `json:"machine,omitempty"`
 	Nodes            int    `json:"nodes"`
 	Clusterer        string `json:"clusterer,omitempty"`
+	Refiner          string `json:"refiner,omitempty"`
 	Start            []int  `json:"start"`
 	End              []int  `json:"end"`
 }
@@ -164,14 +169,33 @@ type errorResponse struct {
 // 32 MiB covers problems far beyond what the mapper can chew anyway.
 const maxBody = 32 << 20
 
+// strategiesResponse is the wire form of GET /strategies: every registered
+// strategy name, straight from the shared registries, so clients discover
+// exactly the names /solve accepts.
+type strategiesResponse struct {
+	Clusterers []string `json:"clusterers"`
+	Refiners   []string `json:"refiners"`
+}
+
 // newHandler builds the server's routing: POST /solve behind a semaphore of
-// the given width, GET /healthz. Exposed for httptest.
+// the given width, GET /healthz, GET /strategies. Exposed for httptest.
 func newHandler(solver *mimdmap.Solver, limit, workers int) http.Handler {
 	sem := make(chan struct{}, limit)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/strategies", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, http.StatusOK, strategiesResponse{
+			Clusterers: mimdmap.ClustererNames(),
+			Refiners:   mimdmap.RefinerNames(),
+		})
 	})
 	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -224,6 +248,7 @@ func toRequest(wire *solveRequest, workers int) (*mimdmap.Request, error) {
 	req := &mimdmap.Request{
 		Topology:  wire.Topology,
 		Clusterer: wire.Clusterer,
+		Refiner:   wire.Refiner,
 		Seed:      wire.Seed,
 	}
 	req.Options.Starts = wire.Starts
@@ -270,6 +295,7 @@ func toWire(resp *mimdmap.Response) *solveResponse {
 		Machine:          resp.Diagnostics.Machine,
 		Nodes:            resp.Diagnostics.Nodes,
 		Clusterer:        resp.Diagnostics.Clusterer,
+		Refiner:          resp.Diagnostics.Refiner,
 		Start:            resp.Schedule.Start,
 		End:              resp.Schedule.End,
 	}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mimdmap"
+)
+
+// TestStrategiesEndpoint pins GET /strategies: both registries, verbatim,
+// so a client can discover every name POST /solve accepts.
+func TestStrategiesEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/strategies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /strategies status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q, want application/json", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got strategiesResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("strategies body not JSON: %s", body)
+	}
+	if !reflect.DeepEqual(got.Clusterers, mimdmap.ClustererNames()) {
+		t.Fatalf("clusterers %v, want %v", got.Clusterers, mimdmap.ClustererNames())
+	}
+	if !reflect.DeepEqual(got.Refiners, mimdmap.RefinerNames()) {
+		t.Fatalf("refiners %v, want %v", got.Refiners, mimdmap.RefinerNames())
+	}
+
+	post, err := http.Post(srv.URL+"/strategies", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /strategies status %d, want 405", post.StatusCode)
+	}
+}
+
+// TestSolveWithRefiner runs one request per registered refiner through the
+// full HTTP path and checks the diagnostic echo; an unknown name must be a
+// 400, not a solve.
+func TestSolveWithRefiner(t *testing.T) {
+	probText, _ := serveInstance(t)
+	srv := newTestServer(t)
+	for _, name := range mimdmap.RefinerNames() {
+		status, body := postSolve(t, srv.URL, mustJSON(t, map[string]any{
+			"problem":   probText,
+			"topology":  "mesh-2x3",
+			"clusterer": "round-robin",
+			"seed":      7,
+			"refiner":   name,
+		}))
+		if status != http.StatusOK {
+			t.Fatalf("refiner %q: status %d, body %s", name, status, body)
+		}
+		var wire solveResponse
+		if err := json.Unmarshal(body, &wire); err != nil {
+			t.Fatal(err)
+		}
+		if wire.Refiner != name {
+			t.Fatalf("response refiner %q, want %q", wire.Refiner, name)
+		}
+		if wire.TotalTime < wire.LowerBound {
+			t.Fatalf("refiner %q: total %d beats the bound %d", name, wire.TotalTime, wire.LowerBound)
+		}
+	}
+	status, body := postSolve(t, srv.URL, mustJSON(t, map[string]any{
+		"problem":   probText,
+		"topology":  "mesh-2x3",
+		"clusterer": "round-robin",
+		"refiner":   "no-such-strategy",
+	}))
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown refiner: status %d, want 400 (body %s)", status, body)
+	}
+	if !strings.Contains(string(body), "no-such-strategy") {
+		t.Fatalf("error body does not name the bad refiner: %s", body)
+	}
+}

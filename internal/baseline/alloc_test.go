@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mimdmap/internal/gen"
+	"mimdmap/internal/paths"
+	"mimdmap/internal/schedule"
+	"mimdmap/internal/topology"
+)
+
+// These tests pin the steady-state allocation contract of the baseline
+// trial loops, matching the internal/schedule AllocsPerRun tests: buffers
+// are hoisted out of the loops, so spending a much larger trial budget must
+// not allocate more.
+
+func allocInstance(t *testing.T) *schedule.Evaluator {
+	t.Helper()
+	sys := topology.Mesh(4, 4)
+	prob, clus, err := gen.TableInstance(sys.NumNodes(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := schedule.NewEvaluator(prob, clus, paths.New(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestRandomMappingAllocationFlat: the trial loop reuses one trial buffer
+// and one best buffer, so 64× more trials allocate nothing extra.
+func TestRandomMappingAllocationFlat(t *testing.T) {
+	e := allocInstance(t)
+	measure := func(trials int) float64 {
+		rng := rand.New(rand.NewSource(3))
+		return testing.AllocsPerRun(5, func() {
+			RandomMapping(e, trials, rng)
+		})
+	}
+	small, large := measure(8), measure(8*64)
+	if large > small {
+		t.Fatalf("RandomMapping allocations scale with trials: %v at 8, %v at %d", small, large, 8*64)
+	}
+	if small > 6 {
+		t.Fatalf("RandomMapping allocates %v objects per call, want a handful of fixed buffers", small)
+	}
+}
+
+// TestPairwiseExchangeAllocationFlat: the generic engine clones exactly
+// once at entry; unlimited sweeps must not allocate beyond that.
+func TestPairwiseExchangeAllocationFlat(t *testing.T) {
+	e := allocInstance(t)
+	start := schedule.FromPerm(rand.New(rand.NewSource(9)).Perm(16))
+	obj := e.TotalTime
+	measure := func(rounds int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			PairwiseExchange(start, obj, nil, rounds)
+		})
+	}
+	one, unlimited := measure(1), measure(0)
+	if unlimited > one {
+		t.Fatalf("PairwiseExchange allocations scale with sweeps: %v at 1 round, %v unlimited", one, unlimited)
+	}
+	if one > 4 {
+		t.Fatalf("PairwiseExchange allocates %v objects per call, want only the entry clone", one)
+	}
+}
+
+// TestMinTotalTimeExchangeAllocationFlat: each restart allocates one
+// session; the sweeps inside it are allocation-free, so deeper descents
+// cost nothing extra. Measured at one restart with a fixed start.
+func TestMinTotalTimeExchangeAllocationFlat(t *testing.T) {
+	e := allocInstance(t)
+	allocs := testing.AllocsPerRun(5, func() {
+		MinTotalTimeExchange(e, 1, rand.New(rand.NewSource(11)))
+	})
+	// One rng, one start buffer, one session, one best copy — construction
+	// only. The bound is deliberately loose against Go-version drift but
+	// catches any per-trial allocation (hundreds of trials per descent).
+	if allocs > 24 {
+		t.Fatalf("MinTotalTimeExchange allocates %v objects per restart, want construction-only", allocs)
+	}
+}
+
+// TestBokhariAllocationFlat: the ascent and jumps run on one CardSession;
+// more jumps must not allocate more.
+func TestBokhariAllocationFlat(t *testing.T) {
+	e := allocInstance(t)
+	measure := func(jumps int) float64 {
+		rng := rand.New(rand.NewSource(13))
+		return testing.AllocsPerRun(5, func() {
+			Bokhari(e, BokhariOptions{Jumps: jumps}, rng)
+		})
+	}
+	small, large := measure(2), measure(2*32)
+	if large > small {
+		t.Fatalf("Bokhari allocations scale with jumps: %v at 2, %v at %d", small, large, 2*32)
+	}
+}

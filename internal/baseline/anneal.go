@@ -1,10 +1,12 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"mimdmap/internal/schedule"
+	"mimdmap/internal/search"
 )
 
 // AnnealOptions configures simulated annealing (refs [3] and [14] of the
@@ -39,6 +41,10 @@ func (o *AnnealOptions) defaults(k int) {
 // Anneal minimises obj over cluster→processor bijections with simulated
 // annealing using the swap neighbourhood, starting from start. It returns
 // the best assignment seen and its objective value. Deterministic given rng.
+//
+// This is the generic-objective scalar engine; total-time annealing should
+// ride the batched swap kernel instead (the registered "anneal" search
+// strategy, which AnnealTotalTime wraps).
 func Anneal(start *schedule.Assignment, obj Objective, opts AnnealOptions, rng *rand.Rand) (*schedule.Assignment, int) {
 	k := start.K()
 	opts.defaults(k)
@@ -107,9 +113,20 @@ func calibrateTemp(a *schedule.Assignment, obj Objective, rng *rand.Rand) float6
 	return -mean / math.Log(0.8)
 }
 
-// AnnealTotalTime is a convenience wrapper: simulated annealing on the total
-// execution time starting from a random assignment.
+// AnnealTotalTime is simulated annealing on the total execution time
+// starting from a random assignment. It runs the registered "anneal" search
+// strategy over a batched SwapSession, so its trials price through the same
+// zero-allocation kernel as the refinement loop; opts.Steps is the trial
+// budget. Deterministic given rng.
 func AnnealTotalTime(e *schedule.Evaluator, opts AnnealOptions, rng *rand.Rand) (*schedule.Assignment, int) {
-	start := RandomAssignment(e.Clus.K, rng)
-	return Anneal(start, e.TotalTime, opts, rng)
+	k := e.Clus.K
+	opts.defaults(k)
+	start := RandomAssignment(k, rng)
+	sess := e.NewSwapSession(start)
+	sa := &search.Anneal{InitialTemp: opts.InitialTemp, Cooling: opts.Cooling, MinTemp: opts.MinTemp}
+	tr := sa.Refine(context.Background(), sess, search.Budget{
+		Trials:             opts.Steps,
+		DisableTermination: true, // no known bound
+	}, rng)
+	return schedule.FromPerm(sess.ProcOf()), tr.Final
 }

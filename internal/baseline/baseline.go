@@ -1,10 +1,12 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"mimdmap/internal/schedule"
+	"mimdmap/internal/search"
 )
 
 // RandomAssignment returns a uniformly random bijection of k clusters onto k
@@ -16,22 +18,27 @@ func RandomAssignment(k int, rng *rand.Rand) *schedule.Assignment {
 // RandomMapping evaluates trials random assignments and returns the mean
 // total time along with the best assignment seen and its total time. The
 // paper's tables average "several" random mappings of each instance; the
-// harness uses the mean, as §5 describes. The trial loop reuses one
-// assignment buffer (cloned only when a trial becomes the best so far), so
-// its only steady-state cost is the evaluator's allocation-free TotalTime;
-// the random stream matches the rand.Perm-per-trial formulation exactly.
+// harness uses the mean, as §5 describes. The trial loop reuses one trial
+// buffer and one best buffer allocated up front — a new best copies into
+// the latter instead of cloning — so its steady-state cost is exactly the
+// evaluator's allocation-free TotalTime (pinned by the AllocsPerRun
+// regression test); the random stream matches the rand.Perm-per-trial
+// formulation exactly.
 func RandomMapping(e *schedule.Evaluator, trials int, rng *rand.Rand) (mean float64, best *schedule.Assignment, bestTime int) {
 	if trials <= 0 {
 		panic("baseline: random mapping needs at least one trial")
 	}
 	sum := 0
 	a := schedule.NewAssignment(e.Clus.K)
+	best = schedule.NewAssignment(e.Clus.K)
+	bestTime = math.MaxInt
 	for t := 0; t < trials; t++ {
 		schedule.RandPermInto(rng, a.ProcOf)
 		total := e.TotalTime(a)
 		sum += total
-		if best == nil || total < bestTime {
-			best, bestTime = a.Clone(), total
+		if total < bestTime {
+			copy(best.ProcOf, a.ProcOf)
+			bestTime = total
 		}
 	}
 	return float64(sum) / float64(trials), best, bestTime
@@ -45,6 +52,12 @@ type Objective func(*schedule.Assignment) int
 // and stop at a local optimum or after maxRounds full sweeps (0 means
 // unlimited). movable[k]==false pins cluster k (nil means all movable).
 // It returns the improved assignment and its objective value.
+//
+// This is the generic-objective scalar engine, for arbitrary Objective
+// closures; it clones exactly once, at entry, and its sweeps reuse that
+// buffer. Total-time descent should ride the batched swap kernel instead
+// (search.Pairwise over a SwapSession, as MinTotalTimeExchange does), and
+// cardinality ascent the batched CardSession (MaxCardinality, Bokhari).
 func PairwiseExchange(start *schedule.Assignment, obj Objective, movable []bool, maxRounds int) (*schedule.Assignment, int) {
 	cur := start.Clone()
 	curCost := obj(cur)
@@ -77,23 +90,30 @@ func PairwiseExchange(start *schedule.Assignment, obj Objective, movable []bool,
 
 // MaxCardinality searches for an assignment maximising Bokhari's cardinality
 // measure: the number of clustered problem edges mapped onto single system
-// edges. It runs restarts random restarts of pairwise-exchange ascent and
-// returns the best assignment with its cardinality. Note §2.2 of the paper:
-// the cardinality-optimal assignment need not minimise total time.
+// edges. It runs restarts random restarts of pairwise-exchange ascent over
+// the batched CardSession kernel and returns the best assignment with its
+// cardinality. Note §2.2 of the paper: the cardinality-optimal assignment
+// need not minimise total time.
 func MaxCardinality(e *schedule.Evaluator, restarts int, rng *rand.Rand) (*schedule.Assignment, int) {
 	if restarts <= 0 {
 		restarts = 1
 	}
+	k := e.Clus.K
+	start := schedule.NewAssignment(k)
+	sess := e.NewCardSession(start) // one session; restarts re-seed it via CommitAssign
 	var best *schedule.Assignment
 	bestCard := -1
 	for r := 0; r < restarts; r++ {
-		start := RandomAssignment(e.Clus.K, rng)
-		// Minimise the negated cardinality.
-		a, negCard := PairwiseExchange(start, func(x *schedule.Assignment) int {
-			return -e.Cardinality(x)
-		}, nil, 0)
-		if -negCard > bestCard {
-			best, bestCard = a, -negCard
+		schedule.RandPermInto(rng, start.ProcOf)
+		sess.CommitAssign(start.ProcOf)
+		card := cardAscend(sess, k)
+		if card > bestCard {
+			if best == nil {
+				best = schedule.FromPerm(sess.ProcOf())
+			} else {
+				copy(best.ProcOf, sess.ProcOf())
+			}
+			bestCard = card
 		}
 	}
 	return best, bestCard
@@ -101,18 +121,34 @@ func MaxCardinality(e *schedule.Evaluator, restarts int, rng *rand.Rand) (*sched
 
 // MinTotalTimeExchange is the refinement alternative the paper compares
 // against (§4.3.3): pairwise exchange descending on total time, restarted
-// from random assignments. Returns the best assignment and total time.
+// from random assignments. Each descent runs the registered pairwise
+// strategy over a batched SwapSession, so restarts price their sweeps
+// through the same zero-allocation kernel as the refinement loop. Returns
+// the best assignment and total time.
 func MinTotalTimeExchange(e *schedule.Evaluator, restarts int, rng *rand.Rand) (*schedule.Assignment, int) {
 	if restarts <= 0 {
 		restarts = 1
 	}
+	k := e.Clus.K
+	start := schedule.NewAssignment(k)
+	sess := e.NewSwapSession(start) // one session; restarts re-seed it via CommitAssign
 	var best *schedule.Assignment
 	bestTime := math.MaxInt
+	descend := search.Pairwise{}
 	for r := 0; r < restarts; r++ {
-		start := RandomAssignment(e.Clus.K, rng)
-		a, t := PairwiseExchange(start, e.TotalTime, nil, 0)
-		if t < bestTime {
-			best, bestTime = a, t
+		schedule.RandPermInto(rng, start.ProcOf)
+		sess.CommitAssign(start.ProcOf, sess.TryAssign(start.ProcOf))
+		tr := descend.Refine(context.Background(), sess, search.Budget{
+			Trials:             math.MaxInt,
+			DisableTermination: true, // no known bound
+		}, rng)
+		if tr.Final < bestTime {
+			if best == nil {
+				best = schedule.FromPerm(sess.ProcOf())
+			} else {
+				copy(best.ProcOf, sess.ProcOf())
+			}
+			bestTime = tr.Final
 		}
 	}
 	return best, bestTime

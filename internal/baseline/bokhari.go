@@ -13,7 +13,11 @@ import (
 // a fixed number of jumps, keeping the best assignment ever seen. The
 // paper's §2.2 argues the measure itself is flawed; this implementation
 // lets the experiments make that argument quantitatively against the real
-// procedure rather than a strawman.
+// procedure rather than a strawman. The ascent prices its pair swaps
+// through the batched CardSession kernel, SwapLanes at a time, with the
+// same sweep order and tie-breaking as the scalar objective loop; the
+// total-time retarget of the same procedure is the registered "bokhari"
+// search strategy (internal/search).
 
 // BokhariOptions configures the search.
 type BokhariOptions struct {
@@ -23,6 +27,52 @@ type BokhariOptions struct {
 	// JumpSwaps is how many random swaps one jump applies. 0 means K/4,
 	// minimum 1.
 	JumpSwaps int
+}
+
+// cardAscend runs steepest-ascent pairwise exchange on cardinality over the
+// session's committed incumbent — sweep every pair through the batch
+// kernel, commit the best strictly-improving exchange, repeat until a local
+// optimum — and returns the local optimum's cardinality. The sweep order
+// and first-strict-winner tie-breaking match the generic PairwiseExchange
+// loop, so results are unchanged; only the pricing is batched.
+func cardAscend(sess *schedule.CardSession, k int) int {
+	const lanes = schedule.SwapLanes
+	var ks, ls, cards [lanes]int
+	cur := sess.Cardinality()
+	for {
+		bestI, bestJ, bestCard := -1, -1, cur
+		n := 0
+		flush := func() {
+			if n == 0 {
+				return
+			}
+			for idx := n; idx < lanes; idx++ {
+				ks[idx], ls[idx] = ks[0], ls[0] // padding lanes, never read
+			}
+			sess.TryCardBatch(&ks, &ls, &cards)
+			for idx := 0; idx < n; idx++ {
+				if cards[idx] > bestCard {
+					bestCard, bestI, bestJ = cards[idx], ks[idx], ls[idx]
+				}
+			}
+			n = 0
+		}
+		for i := 0; i < k-1; i++ {
+			for j := i + 1; j < k; j++ {
+				ks[n], ls[n] = i, j
+				n++
+				if n == lanes {
+					flush()
+				}
+			}
+		}
+		flush()
+		if bestI < 0 {
+			return cur // local optimum
+		}
+		cur = bestCard
+		sess.CommitSwap(bestI, bestJ)
+	}
 }
 
 // Bokhari runs the cardinality-maximising search and returns the best
@@ -39,18 +89,15 @@ func Bokhari(e *schedule.Evaluator, opts BokhariOptions, rng *rand.Rand) (*sched
 		opts.JumpSwaps = 1
 	}
 
-	cur := RandomAssignment(k, rng)
-	best := cur.Clone()
-	bestCard := e.Cardinality(best)
+	start := RandomAssignment(k, rng)
+	sess := e.NewCardSession(start)
+	best := start // NewCardSession copied it; reuse as the best buffer
+	bestCard := sess.Cardinality()
 	for jump := 0; jump <= opts.Jumps; jump++ {
 		// Pairwise-exchange ascent on cardinality.
-		improved, negCard := PairwiseExchange(cur, func(a *schedule.Assignment) int {
-			return -e.Cardinality(a)
-		}, nil, 0)
-		cur = improved
-		if card := -negCard; card > bestCard {
+		if card := cardAscend(sess, k); card > bestCard {
 			bestCard = card
-			best = cur.Clone()
+			copy(best.ProcOf, sess.ProcOf())
 		}
 		if jump == opts.Jumps {
 			break
@@ -63,7 +110,7 @@ func Bokhari(e *schedule.Evaluator, opts BokhariOptions, rng *rand.Rand) (*sched
 				if j >= i {
 					j++
 				}
-				cur.Swap(i, j)
+				sess.CommitSwap(i, j)
 			}
 		}
 	}

@@ -13,11 +13,16 @@
 //     optimiser included as an extension baseline.
 //
 // All searchers are deterministic given their *rand.Rand, and all of them
-// hammer the same schedule.Evaluator the mapper uses: total-time searchers
-// price assignments with the allocation-free TotalTime fast path, and the
-// cardinality searchers with the O(edges) CSR-based Cardinality, so
-// baseline comparisons measure strategy quality rather than evaluator
-// overhead. Searchers that need fresh random permutations reuse one
-// assignment buffer via schedule.RandPermInto, which consumes their
-// generator exactly as rand.Perm would.
+// hammer the same evaluation kernels the mapper uses. The total-time
+// searchers (MinTotalTimeExchange, AnnealTotalTime) run registered search
+// strategies from internal/search over a batched schedule.SwapSession;
+// the cardinality searchers (Bokhari, MaxCardinality) sweep pairs through
+// the batched schedule.CardSession; only the generic-objective engines
+// (PairwiseExchange, Anneal over an arbitrary Objective closure, the Lee
+// comm-cost minimiser) price scalar trials. Baseline comparisons thus
+// measure strategy quality rather than evaluator overhead. Searchers that
+// need fresh random permutations reuse one assignment buffer via
+// schedule.RandPermInto, which consumes their generator exactly as
+// rand.Perm would; the AllocsPerRun regression tests pin that the trial
+// loops stay allocation-free in steady state.
 package baseline

@@ -15,13 +15,15 @@
 //  4. refine applies random changes to the movable clusters and keeps
 //     improvements (§4.3.3), stopping at the lower bound.
 //
-// Refinement is the hot path: every trial prices one candidate assignment.
-// The RandomSwap move (the default) runs through a schedule.SwapSession,
-// which drafts candidate swaps ahead and evaluates schedule.SwapLanes of
-// them in one interleaved, allocation-free pass; results are bit-identical
-// to trial-at-a-time refinement, including the random stream. Multi-start
+// Refinement is the hot path and a pluggable seam: every strategy is a
+// search.Refiner improving a batched schedule.SwapSession, selected by
+// Options.Refiner (or by name through the service layer); the default is
+// the paper's §4.3.3 random-change refinement (search.Paper), which
+// drafts candidate swaps ahead and evaluates schedule.SwapLanes of them
+// in one interleaved, allocation-free pass with results bit-identical to
+// trial-at-a-time refinement, including the random stream. Multi-start
 // runs (Options.Starts > 1) race independent refinement chains from the
 // shared initial assignment; each chain draws from its own derived
-// generator and evaluates on its own evaluator fork, so chains share no
-// mutable state and need no locks.
+// generator and runs its session on its own evaluator fork, so chains
+// share no mutable state and need no locks.
 package core

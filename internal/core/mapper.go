@@ -10,6 +10,7 @@ import (
 	"mimdmap/internal/ideal"
 	"mimdmap/internal/paths"
 	"mimdmap/internal/schedule"
+	"mimdmap/internal/search"
 )
 
 // RefineMove selects the random change applied per refinement trial
@@ -54,8 +55,16 @@ type Options struct {
 	// default of ns trials ("a total of ns changes are allowed", §4.3.3);
 	// negative disables refinement entirely (initial assignment only).
 	MaxRefinements int
-	// Move selects the refinement move (see RefineMove).
+	// Move selects the refinement move (see RefineMove). It is shorthand
+	// for the two paper-faithful strategies; Refiner overrides it.
 	Move RefineMove
+	// Refiner selects the local-search strategy that improves the initial
+	// assignment, plugged in over the batched swap kernel. nil means the
+	// strategy Move names: the paper's §4.3.3 random-change refinement
+	// (search.Paper), or search.FullReshuffle when Move is FullReshuffle.
+	// Instances must be safe for concurrent chains (see search.Refiner);
+	// use search.RefinerByName to resolve registered strategy names.
+	Refiner search.Refiner
 	// Rand drives the random-change refinement. nil seeds a deterministic
 	// generator (seed 1) so results are reproducible by default.
 	Rand *rand.Rand
@@ -264,10 +273,26 @@ func (m *Mapper) analyse() (*Result, error) {
 	return res, nil
 }
 
-// refine performs the §4.3.3 random-change refinement in place on res,
-// drawing moves from rng and stopping early when ctx is cancelled. ev is
-// the chain's evaluation handle: concurrent chains pass their own fork so
-// scratch arenas are never shared.
+// refiner resolves the strategy one refinement chain runs: Options.Refiner
+// when set, otherwise the paper-faithful strategy Options.Move names.
+func (m *Mapper) refiner() search.Refiner {
+	if m.opts.Refiner != nil {
+		return m.opts.Refiner
+	}
+	if m.opts.Move == FullReshuffle {
+		return search.FullReshuffle{}
+	}
+	return search.Paper{}
+}
+
+// refine runs the configured search strategy in place on res, drawing
+// moves from rng and stopping early when ctx is cancelled. ev is the
+// chain's evaluation handle: concurrent chains pass their own fork so
+// scratch arenas are never shared. The strategy prices its trials through
+// a batched SwapSession committed to the chain's assignment (the
+// construction of the session is the chain's only refinement allocation);
+// the paper refiner's accept/reject decisions and random stream are
+// bit-identical to the historical trial-at-a-time loop.
 func (m *Mapper) refine(ctx context.Context, rng *rand.Rand, ev *schedule.Evaluator, res *Result) {
 	budget := m.opts.MaxRefinements
 	if budget == 0 {
@@ -279,125 +304,21 @@ func (m *Mapper) refine(ctx context.Context, rng *rand.Rand, ev *schedule.Evalua
 	if len(m.freeClusters) < 2 {
 		return // nothing can move
 	}
-	if m.opts.Move == FullReshuffle {
-		m.refineReshuffle(ctx, rng, ev, res, budget)
-		return
+	sess := ev.NewSwapSession(res.Assignment)
+	trace := m.refiner().Refine(ctx, sess, search.Budget{
+		Trials:             budget,
+		Free:               m.freeClusters,
+		FreeProcs:          m.freeProcs,
+		LowerBound:         res.LowerBound,
+		DisableTermination: m.opts.DisableTermination,
+		RecordTrials:       m.opts.RecordTrials,
+	}, rng)
+	copy(res.Assignment.ProcOf, sess.ProcOf())
+	res.TotalTime = trace.Final
+	res.Refinements += trace.Trials
+	res.Improved += trace.Improved
+	if trace.Totals != nil {
+		res.Trials = append(res.Trials, trace.Totals...)
 	}
-	// RandomSwap trials are priced through a SwapSession: almost every
-	// trial is a rejected perturbation of the same incumbent, so candidate
-	// swaps are drawn ahead and evaluated SwapLanes at a time in one
-	// interleaved pass. Trials still resolve strictly in draw order against
-	// the incumbent they would have seen sequentially — when a trial is
-	// accepted, the not-yet-resolved candidates of its batch are re-priced
-	// against the new incumbent — so results are bit-identical to
-	// trial-at-a-time refinement, including the random stream (drawing
-	// consumes rng in draw order; evaluation consumes none).
-	freeClusters := m.freeClusters
-	current := res.Assignment
-	sess := ev.NewSwapSession(current)
-	const lanes = schedule.SwapLanes
-	var ks, ls, totals [lanes]int
-	var queue [lanes][2]int // drawn but unresolved candidate swaps
-	qlen, drawn := 0, 0
-	for res.Refinements < budget {
-		if ctx.Err() != nil {
-			break
-		}
-		for qlen < lanes && drawn < budget {
-			i, j := schedule.RandSwapPair(rng, len(freeClusters))
-			queue[qlen] = [2]int{freeClusters[i], freeClusters[j]}
-			qlen++
-			drawn++
-		}
-		batched := qlen == lanes
-		if batched {
-			for idx := 0; idx < lanes; idx++ {
-				ks[idx], ls[idx] = queue[idx][0], queue[idx][1]
-			}
-			sess.TrySwapBatch(&ks, &ls, &totals)
-		}
-		resolved := 0
-		accepted := false
-		for idx := 0; idx < qlen; idx++ {
-			k, l := queue[idx][0], queue[idx][1]
-			var total int
-			if batched {
-				total = totals[idx]
-			} else {
-				total = sess.TrySwap(k, l)
-			}
-			res.Refinements++
-			resolved++
-			if m.opts.RecordTrials {
-				res.Trials = append(res.Trials, total)
-			}
-			if !m.opts.DisableTermination && total == res.LowerBound {
-				res.Improved++
-				res.TotalTime = total
-				res.OptimalProven = true
-				current.Swap(k, l)
-				return
-			}
-			if total < res.TotalTime {
-				res.Improved++
-				res.TotalTime = total
-				sess.CommitSwap(k, l, total)
-				current.Swap(k, l)
-				if batched {
-					// The remaining lanes were priced against the old
-					// incumbent; requeue them for exact re-evaluation.
-					accepted = true
-					break
-				}
-			}
-		}
-		if accepted {
-			copy(queue[:], queue[resolved:qlen])
-		}
-		qlen -= resolved
-	}
-	res.OptimalProven = res.TotalTime == res.LowerBound
-}
-
-// refineReshuffle is the FullReshuffle refinement loop — the literal
-// §4.3.3 step 4(a): every trial randomly re-permutes all movable clusters,
-// so there is no incumbent locality for the batch session to exploit and
-// trials are priced with the full evaluation pass. The permutation and
-// trial buffers are hoisted out of the loop; schedule.RandPermInto draws
-// from rng exactly as rand.Perm does, keeping the random stream
-// bit-identical.
-func (m *Mapper) refineReshuffle(ctx context.Context, rng *rand.Rand, ev *schedule.Evaluator, res *Result, budget int) {
-	freeClusters, freeProcs := m.freeClusters, m.freeProcs
-	current := res.Assignment
-	trial := current.Clone()
-	perm := make([]int, len(freeProcs))
-	for t := 0; t < budget; t++ {
-		if ctx.Err() != nil {
-			break
-		}
-		res.Refinements++
-		schedule.RandPermInto(rng, perm)
-		for i, k := range freeClusters {
-			trial.ProcOf[k] = freeProcs[perm[i]]
-		}
-		total := ev.TotalTime(trial)
-		if m.opts.RecordTrials {
-			res.Trials = append(res.Trials, total)
-		}
-		if !m.opts.DisableTermination && total == res.LowerBound {
-			res.Improved++
-			res.TotalTime = total
-			res.OptimalProven = true
-			res.Assignment = trial
-			return
-		}
-		if total < res.TotalTime {
-			res.Improved++
-			res.TotalTime = total
-			current, trial = trial, current
-		}
-		copy(trial.ProcOf, current.ProcOf)
-	}
-	res.Assignment = current
 	res.OptimalProven = res.TotalTime == res.LowerBound
 }

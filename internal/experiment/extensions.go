@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"strings"
 
 	"mimdmap/internal/cluster"
 	"mimdmap/internal/core"
@@ -15,7 +14,6 @@ import (
 	"mimdmap/internal/schedule"
 	"mimdmap/internal/service"
 	"mimdmap/internal/stats"
-	"mimdmap/internal/textplot"
 	"mimdmap/internal/topology"
 )
 
@@ -143,12 +141,12 @@ func ExactGapReport(cfg Config) (string, error) {
 			boundTight++
 		}
 	}
-	var b strings.Builder
-	b.WriteString("=== Extension: heuristic vs exact optimum (branch and bound) ===\n")
-	b.WriteString(textplot.Table(headers, cells))
-	fmt.Fprintf(&b, "mean heuristic gap over the true optimum: %.1f%%\n", sumGap/float64(len(rows)))
-	fmt.Fprintf(&b, "ideal lower bound tight (optimum == bound) in %d of %d cases\n", boundTight, len(rows))
-	return b.String(), nil
+	return comparisonSection(
+		"Extension: heuristic vs exact optimum (branch and bound)",
+		headers, cells,
+		fmt.Sprintf("mean heuristic gap over the true optimum: %.1f%%", sumGap/float64(len(rows))),
+		fmt.Sprintf("ideal lower bound tight (optimum == bound) in %d of %d cases", boundTight, len(rows)),
+	), nil
 }
 
 // ClustererRow compares clustering strategies on one instance, all mapped
@@ -245,9 +243,9 @@ func CompareClusterersReport(cfg Config) (string, error) {
 			fmt.Sprintf("%d", r.AtBound),
 		})
 	}
-	var b strings.Builder
-	b.WriteString("=== Extension: clustering strategies under the same mapper (mesh workload) ===\n")
-	b.WriteString(textplot.Table(headers, cells))
-	b.WriteString("(total time is comparable across rows; % is against each clustering's own ideal bound)\n")
-	return b.String(), nil
+	return comparisonSection(
+		"Extension: clustering strategies under the same mapper (mesh workload)",
+		headers, cells,
+		"(total time is comparable across rows; % is against each clustering's own ideal bound)",
+	), nil
 }

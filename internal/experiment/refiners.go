@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"mimdmap/internal/core"
+	"mimdmap/internal/graph"
+	"mimdmap/internal/parallel"
+	"mimdmap/internal/search"
+	"mimdmap/internal/service"
+	"mimdmap/internal/stats"
+	"mimdmap/internal/topology"
+)
+
+// RefinerUsage lists the registered search strategies for CLI help — the
+// same registry every -refiner flag resolves against.
+func RefinerUsage() string { return service.RefinerUsage() }
+
+// RefinerRow compares one search strategy across the comparison workloads,
+// all started from the identical initial assignment and frozen set.
+type RefinerRow struct {
+	Refiner string
+	// MeanPct is the mean final total time as % of each instance's
+	// ideal-graph lower bound.
+	MeanPct float64
+	// MeanTime is the mean absolute total time, comparable across rows
+	// because every strategy sees identical instances, initial assignments
+	// and trial budgets.
+	MeanTime float64
+	// AtBound counts instances where the strategy reached the lower bound
+	// (provably optimal by Theorem 3).
+	AtBound int
+	// MeanTrials is the mean number of trials actually spent; strategies
+	// that converge or terminate early spend less than the shared budget.
+	MeanTrials float64
+}
+
+// refinerSpecs is the comparison workload: Table 1–3 style instances —
+// hypercubes, meshes, sparse random machines — generated through the same
+// buildInstance pipeline as the tables themselves.
+func refinerSpecs() []instanceSpec {
+	return []instanceSpec{
+		{build: func(*rand.Rand) *graph.System { return topology.Hypercube(3) }},
+		{build: func(*rand.Rand) *graph.System { return topology.Hypercube(4) }},
+		{build: func(*rand.Rand) *graph.System { return topology.Hypercube(5) }},
+		{build: func(*rand.Rand) *graph.System { return topology.Mesh(3, 4) }},
+		{build: func(*rand.Rand) *graph.System { return topology.Mesh(4, 4) }},
+		{build: func(*rand.Rand) *graph.System { return topology.Mesh(5, 8) }},
+		{build: func(rng *rand.Rand) *graph.System { return topology.Random(12, 0.08, rng) }},
+		{build: func(rng *rand.Rand) *graph.System { return topology.Random(24, 0.08, rng) }},
+		{build: func(rng *rand.Rand) *graph.System { return topology.Random(36, 0.08, rng) }},
+	}
+}
+
+// CompareRefiners races every registered search strategy over the same
+// Table 1–3 style workloads at an equal trial budget (the paper's default
+// of ns trials per instance). Every strategy refines the identical initial
+// assignment with the identical frozen clusters and a generator seeded from
+// the instance — so the comparison isolates exactly the search policy,
+// which is the contract the pluggable-refiner seam exists to enforce. The
+// strategies fan out across cfg.Workers; each (strategy, instance) pair
+// derives its own generator, so results are worker-count independent.
+func CompareRefiners(cfg Config) ([]RefinerRow, error) {
+	cfg.defaults()
+	specs := refinerSpecs()
+	instances := make([]*Instance, len(specs))
+	for i, spec := range specs {
+		in, err := buildInstance(cfg, i, spec)
+		if err != nil {
+			return nil, err
+		}
+		instances[i] = in
+	}
+	names := search.RefinerNames()
+	return parallel.Map(context.Background(), len(names), cfg.Workers,
+		func(ctx context.Context, r int) (RefinerRow, error) {
+			refiner, err := service.RefinerByName(names[r])
+			if err != nil {
+				return RefinerRow{}, err
+			}
+			var pcts, times, trials []float64
+			atBound := 0
+			for _, in := range instances {
+				m, err := core.New(in.Prob, in.Clus, in.Sys, core.Options{
+					Refiner: refiner,
+					Rand:    rand.New(rand.NewSource(in.Seed + 6)),
+				})
+				if err != nil {
+					return RefinerRow{}, err
+				}
+				out, err := m.RunContext(ctx)
+				if err != nil {
+					return RefinerRow{}, err
+				}
+				pcts = append(pcts, stats.PercentOver(out.LowerBound, float64(out.TotalTime)))
+				times = append(times, float64(out.TotalTime))
+				trials = append(trials, float64(out.Refinements))
+				if out.OptimalProven {
+					atBound++
+				}
+			}
+			return RefinerRow{
+				Refiner:    names[r],
+				MeanPct:    stats.Mean(pcts),
+				MeanTime:   stats.Mean(times),
+				AtBound:    atBound,
+				MeanTrials: stats.Mean(trials),
+			}, nil
+		})
+}
+
+// CompareRefinersReport renders the equal-budget strategy race.
+func CompareRefinersReport(cfg Config) (string, error) {
+	rows, err := CompareRefiners(cfg)
+	if err != nil {
+		return "", err
+	}
+	headers := []string{"refiner", "mean total time", "mean % over bound", "at-bound", "mean trials"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Refiner,
+			fmt.Sprintf("%.0f", r.MeanTime),
+			fmt.Sprintf("%.1f", r.MeanPct),
+			fmt.Sprintf("%d", r.AtBound),
+			fmt.Sprintf("%.0f", r.MeanTrials),
+		})
+	}
+	return comparisonSection(
+		"Extension: search strategies at an equal trial budget (Table 1-3 workloads)",
+		headers, cells,
+		"(every strategy refines the identical initial assignment with ns trials per instance;",
+		" all trials priced through the batched swap kernel — see internal/search)",
+	), nil
+}

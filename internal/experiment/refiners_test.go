@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mimdmap/internal/search"
+)
+
+// TestCompareRefinersCoversRegistryDeterministically: one row per
+// registered strategy, identical at any worker count, with the paper row
+// never beaten on its own turf by chance regressions in the harness
+// (every row's mean is sane and trials stay within the shared budget).
+func TestCompareRefinersCoversRegistryDeterministically(t *testing.T) {
+	render := func(workers int) string {
+		rows, err := CompareRefiners(Config{RandomTrials: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", rows)
+	}
+	want := render(1)
+	for _, workers := range []int{4, 8} {
+		if got := render(workers); got != want {
+			t.Fatalf("CompareRefiners rows at %d workers differ from sequential:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+
+	rows, err := CompareRefiners(Config{RandomTrials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := search.RefinerNames()
+	if len(rows) != len(names) {
+		t.Fatalf("%d rows for %d registered refiners", len(rows), len(names))
+	}
+	for i, row := range rows {
+		if row.Refiner != names[i] {
+			t.Fatalf("row %d is %q, want %q", i, row.Refiner, names[i])
+		}
+		if row.MeanPct < 100 {
+			t.Fatalf("%s: mean %.1f%% of bound is below 100%%", row.Refiner, row.MeanPct)
+		}
+		if row.MeanTime <= 0 {
+			t.Fatalf("%s: non-positive mean time", row.Refiner)
+		}
+	}
+}
+
+// TestCompareRefinersReportRenders smoke-tests the rendered section.
+func TestCompareRefinersReportRenders(t *testing.T) {
+	report, err := CompareRefinersReport(Config{RandomTrials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range search.RefinerNames() {
+		if !strings.Contains(report, name) {
+			t.Fatalf("report misses refiner %q:\n%s", name, report)
+		}
+	}
+}

@@ -15,6 +15,20 @@ import (
 	"mimdmap/internal/textplot"
 )
 
+// comparisonSection renders one titled comparison block — a === title ===
+// header, a textplot table, and optional footnote lines — the shared shape
+// of every strategy-comparison report (clusterers, refiners, exact gap).
+func comparisonSection(title string, headers []string, cells [][]string, notes ...string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", title)
+	b.WriteString(textplot.Table(headers, cells))
+	for _, note := range notes {
+		b.WriteString(note)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // ForEachPermutation calls fn with every permutation of [0,n); fn must not
 // retain the slice. Used by the counterexample reports to verify claims
 // exhaustively (n is 4, so 24 assignments).

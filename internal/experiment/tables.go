@@ -12,6 +12,7 @@ import (
 	"mimdmap/internal/gen"
 	"mimdmap/internal/graph"
 	"mimdmap/internal/parallel"
+	"mimdmap/internal/service"
 	"mimdmap/internal/stats"
 	"mimdmap/internal/textplot"
 	"mimdmap/internal/topology"
@@ -55,6 +56,11 @@ type Config struct {
 	// mapping (core.Options.Starts). 0 or 1 reproduce the paper's single
 	// chain.
 	Starts int
+	// Refiner names a registered search strategy replacing the paper's
+	// §4.3.3 random-change refinement in the table and sweep mappings
+	// ("" = the paper strategy). Resolved through the shared registry, so
+	// every name the CLIs accept works here too.
+	Refiner string
 }
 
 func (c *Config) defaults() {
@@ -234,6 +240,13 @@ func RunInstance(in *Instance, cfg Config, mapRng, randRng *rand.Rand) (Row, err
 		Starts:      cfg.Starts,
 		Workers:     cfg.Workers,
 		Seed:        in.Seed + 5,
+	}
+	if cfg.Refiner != "" {
+		refiner, err := service.RefinerByName(cfg.Refiner)
+		if err != nil {
+			return Row{}, err
+		}
+		opts.Refiner = refiner
 	}
 	m, err := core.New(prob, clus, sys, opts)
 	if err != nil {

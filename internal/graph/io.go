@@ -23,6 +23,25 @@ import (
 //	assign <task> <cluster>
 //
 // Unknown directives are errors; blank lines and #-comments are skipped.
+// Header sizes are bounded by MaxTextNodes: the dense n×n structures behind
+// a problem or system make larger graphs impractical anyway, and the bound
+// keeps a hostile few-byte header ("problem 99999999") from allocating
+// gigabytes before validation can reject it.
+
+// MaxTextNodes bounds the declared size of any graph read from the text
+// format — tasks of a problem, nodes of a system, tasks of a clustering.
+const MaxTextNodes = 1 << 14
+
+// headerSize validates a parsed header count against [0, MaxTextNodes].
+func headerSize(n int, what string) error {
+	if n < 0 {
+		return fmt.Errorf("%s %d is negative", what, n)
+	}
+	if n > MaxTextNodes {
+		return fmt.Errorf("%s %d exceeds the text-format limit %d", what, n, MaxTextNodes)
+	}
+	return nil
+}
 
 // WriteProblem writes p in the text format.
 func WriteProblem(w io.Writer, p *Problem) error {
@@ -77,6 +96,9 @@ func ReadProblem(r io.Reader) (*Problem, error) {
 		case "problem":
 			n, err := atoiField(fields, 1, "problem size")
 			if err != nil {
+				return err
+			}
+			if err := headerSize(n, "problem size"); err != nil {
 				return err
 			}
 			p = NewProblem(n)
@@ -143,6 +165,9 @@ func ReadSystem(r io.Reader) (*System, error) {
 			if err != nil {
 				return err
 			}
+			if err := headerSize(n, "system size"); err != nil {
+				return err
+			}
 			s = NewSystem(n)
 			if len(fields) > 2 {
 				s.Name = strings.Join(fields[2:], " ")
@@ -192,6 +217,12 @@ func ReadClustering(r io.Reader) (*Clustering, error) {
 			}
 			k, err := atoiField(fields, 2, "clustering k")
 			if err != nil {
+				return err
+			}
+			if err := headerSize(n, "clustering size"); err != nil {
+				return err
+			}
+			if err := headerSize(k, "clustering k"); err != nil {
 				return err
 			}
 			c = NewClustering(n, k)

@@ -92,6 +92,8 @@ func TestReadProblemErrors(t *testing.T) {
 		"empty input":       "",
 		"cyclic":            "problem 2\nedge 0 1 1\nedge 1 0 1\n",
 		"negative weight":   "problem 2\nedge 0 1 -4\n",
+		"negative size":     "problem -1\n",
+		"absurd size":       "problem 99999999\n", // must fail before allocating n×n
 	}
 	for name, in := range cases {
 		if _, err := ReadProblem(strings.NewReader(in)); err == nil {
@@ -107,6 +109,8 @@ func TestReadSystemErrors(t *testing.T) {
 		"link out of range": "system 2\nlink 0 9\n",
 		"disconnected":      "system 3\nlink 0 1\n",
 		"empty input":       "",
+		"negative size":     "system -2\n",
+		"absurd size":       "system 99999999\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadSystem(strings.NewReader(in)); err == nil {
@@ -121,6 +125,8 @@ func TestReadClusteringErrors(t *testing.T) {
 		"out of range":  "clustering 2 2\nassign 0 0\nassign 1 5\n",
 		"empty cluster": "clustering 2 2\nassign 0 0\nassign 1 0\n",
 		"bad task":      "clustering 1 1\nassign 9 0\n",
+		"negative size": "clustering -3 1\n",
+		"absurd k":      "clustering 2 99999999\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadClustering(strings.NewReader(in)); err == nil {

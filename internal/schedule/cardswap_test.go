@@ -1,0 +1,150 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"mimdmap/internal/topology"
+)
+
+// TestCardSessionMatchesEvaluator cross-checks the batched cardinality
+// kernel against the scalar Cardinality over a random walk with commits:
+// every lane must equal Cardinality of the swapped incumbent, including
+// identity lanes (ks == ls) pricing the incumbent itself.
+func TestCardSessionMatchesEvaluator(t *testing.T) {
+	for _, seed := range []int64{5, 23} {
+		e, a := benchInstance(t, topology.Mesh(4, 4), seed)
+		k := a.K()
+		rng := rand.New(rand.NewSource(seed))
+		sess := e.NewCardSession(a)
+		oracle := a.Clone() // mirrors the session's committed incumbent
+		var ks, ls, cards [SwapLanes]int
+		for round := 0; round < 60; round++ {
+			for l := 0; l < SwapLanes; l++ {
+				ks[l], ls[l] = RandSwapPair(rng, k)
+			}
+			ks[SwapLanes-1] = ls[SwapLanes-1] // identity lane: the incumbent
+			sess.TryCardBatch(&ks, &ls, &cards)
+			for l := 0; l < SwapLanes; l++ {
+				oracle.Swap(ks[l], ls[l])
+				if want := e.Cardinality(oracle); cards[l] != want {
+					t.Fatalf("round %d lane %d: batch card %d, evaluator says %d", round, l, cards[l], want)
+				}
+				oracle.Swap(ks[l], ls[l])
+			}
+			if sess.Cardinality() != e.Cardinality(oracle) {
+				t.Fatalf("round %d: committed card %d, evaluator says %d", round, sess.Cardinality(), e.Cardinality(oracle))
+			}
+			switch round % 3 {
+			case 0:
+				sess.CommitSwap(ks[0], ls[0])
+				oracle.Swap(ks[0], ls[0])
+			case 1:
+				// Blind jump: commit an unpriced random swap, as Bokhari does.
+				i, j := RandSwapPair(rng, k)
+				sess.CommitSwap(i, j)
+				oracle.Swap(i, j)
+			}
+		}
+	}
+}
+
+// TestCardSessionCommitAssign pins that replacing the incumbent wholesale
+// resynchronises the lane views.
+func TestCardSessionCommitAssign(t *testing.T) {
+	e, a := benchInstance(t, topology.Hypercube(3), 9)
+	k := a.K()
+	sess := e.NewCardSession(a)
+	var ks, ls, cards [SwapLanes]int
+	sess.TryCardBatch(&ks, &ls, &cards) // warm the lane views on the old incumbent
+
+	other := FromPerm(rand.New(rand.NewSource(42)).Perm(k))
+	sess.CommitAssign(other.ProcOf)
+	if got, want := sess.Cardinality(), e.Cardinality(other); got != want {
+		t.Fatalf("after CommitAssign: card %d, want %d", got, want)
+	}
+	for l := 0; l < SwapLanes; l++ {
+		ks[l], ls[l] = l%k, (l+1)%k
+	}
+	sess.TryCardBatch(&ks, &ls, &cards)
+	for l := 0; l < SwapLanes; l++ {
+		other.Swap(ks[l], ls[l])
+		if want := e.Cardinality(other); cards[l] != want {
+			t.Fatalf("lane %d after CommitAssign: card %d, want %d", l, cards[l], want)
+		}
+		other.Swap(ks[l], ls[l])
+	}
+}
+
+// TestSwapSessionTryAssign pins the whole-assignment trial path: TryAssign
+// prices any candidate exactly, leaves the incumbent untouched, and
+// CommitAssign adopts it.
+func TestSwapSessionTryAssign(t *testing.T) {
+	e, a := benchInstance(t, topology.Mesh(4, 4), 13)
+	k := a.K()
+	sess := e.NewSwapSession(a)
+	committed := sess.TotalTime()
+	check := e.Fork()
+
+	cand := FromPerm(rand.New(rand.NewSource(7)).Perm(k))
+	if got, want := sess.TryAssign(cand.ProcOf), check.TotalTime(cand); got != want {
+		t.Fatalf("TryAssign = %d, evaluator says %d", got, want)
+	}
+	if sess.TotalTime() != committed {
+		t.Fatal("TryAssign changed the committed total")
+	}
+	total := sess.TryAssign(cand.ProcOf)
+	sess.CommitAssign(cand.ProcOf, total)
+	if sess.TotalTime() != total {
+		t.Fatalf("committed total %d, want %d", sess.TotalTime(), total)
+	}
+	// Batch trials after CommitAssign must price swaps of the new incumbent.
+	var ks, ls, totals [SwapLanes]int
+	for l := 0; l < SwapLanes; l++ {
+		ks[l], ls[l] = l%k, (l+3)%k
+	}
+	sess.TrySwapBatch(&ks, &ls, &totals)
+	for l := 0; l < SwapLanes; l++ {
+		cand.Swap(ks[l], ls[l])
+		if want := check.TotalTime(cand); totals[l] != want {
+			t.Fatalf("lane %d after CommitAssign: total %d, want %d", l, totals[l], want)
+		}
+		cand.Swap(ks[l], ls[l])
+	}
+}
+
+// TestCardSessionZeroAllocs pins the batched cardinality kernel's
+// steady-state contract, matching TestSwapSessionZeroAllocs.
+func TestCardSessionZeroAllocs(t *testing.T) {
+	e, a := benchInstance(t, topology.Mesh(4, 4), 7)
+	sess := e.NewCardSession(a)
+	var ks, ls, cards [SwapLanes]int
+	for l := 0; l < SwapLanes; l++ {
+		ks[l], ls[l] = l, l+SwapLanes
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		sess.TryCardBatch(&ks, &ls, &cards)
+		refineBenchSink += cards[0]
+	}); allocs != 0 {
+		t.Fatalf("TryCardBatch allocates %v objects per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		refineBenchSink += sess.Cardinality()
+		sess.CommitSwap(1, 2)
+	}); allocs != 0 {
+		t.Fatalf("Cardinality+CommitSwap allocates %v objects per call, want 0", allocs)
+	}
+}
+
+// TestTryAssignZeroAllocs pins the whole-assignment trial contract.
+func TestTryAssignZeroAllocs(t *testing.T) {
+	e, a := benchInstance(t, topology.Mesh(4, 4), 7)
+	sess := e.NewSwapSession(a)
+	cand := a.Clone()
+	if allocs := testing.AllocsPerRun(200, func() {
+		refineBenchSink += sess.TryAssign(cand.ProcOf)
+		sess.CommitAssign(cand.ProcOf, 0)
+	}); allocs != 0 {
+		t.Fatalf("TryAssign+CommitAssign allocates %v objects per call, want 0", allocs)
+	}
+}

@@ -33,7 +33,11 @@
 // Refinement goes one step further: its trials are single swaps of a
 // shared incumbent, so a SwapSession (swap.go) drafts candidate swaps
 // ahead and prices SwapLanes of them in one interleaved pass, exactly and
-// allocation-free. See SwapSession's documentation for the protocol.
+// allocation-free; it also offers whole-assignment pricing
+// (TryAssign/CommitAssign) for permutation moves, annealing restarts and
+// jump perturbations. Every search strategy in internal/search runs on a
+// SwapSession, and CardSession is its cardinality twin for the Bokhari
+// baseline. See their documentation for the protocol.
 //
 // A contention-aware evaluator (an extension beyond the paper, used only by
 // the ablation experiments) lives in contention.go; a link-contention

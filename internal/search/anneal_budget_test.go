@@ -1,0 +1,22 @@
+package search
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"mimdmap/internal/topology"
+)
+
+func TestAnnealBudgetNotExceeded(t *testing.T) {
+	for _, budget := range []int{10, 33, 35, 38, 40, 100, 300} {
+		ev, start := instance(t, topology.Mesh(4, 4), 42)
+		sess := ev.NewSwapSession(start)
+		tr := (&Anneal{Cooling: 0.99999, MinTemp: 1e-9}).Refine(context.Background(), sess,
+			Budget{Trials: budget, LowerBound: 1, DisableTermination: true}, rand.New(rand.NewSource(7)))
+		t.Logf("budget %d: trials %d", budget, tr.Trials)
+		if tr.Trials > budget {
+			t.Errorf("budget %d exceeded: %d trials", budget, tr.Trials)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package search
+
+import (
+	"context"
+	"math/rand"
+
+	"mimdmap/internal/schedule"
+)
+
+// Bokhari is Bokhari's 1981 search procedure (ref [1] of the paper)
+// retargeted at the measure the paper argues for: pairwise-exchange descent
+// to a local optimum, then a probabilistic jump (a burst of random swaps)
+// to escape it, repeating for a fixed number of jumps and keeping the best
+// assignment ever seen. Where the original climbs on cardinality — the
+// indirect measure §2.2 refutes — this registry strategy descends on total
+// time, so it competes with the other refiners under the paper's own
+// objective at an equal trial budget. The faithful cardinality-maximising
+// procedure lives in internal/baseline for the §2.2 comparisons.
+//
+// Descent sweeps ride the session's batch kernel via the Pairwise refiner;
+// each jump costs one whole-assignment evaluation.
+type Bokhari struct {
+	// Jumps is the number of probabilistic jumps after local optima.
+	// 0 means 2× the number of movable clusters.
+	Jumps int
+	// JumpSwaps is how many random swaps one jump applies. 0 means a
+	// quarter of the movable clusters, minimum 1.
+	JumpSwaps int
+}
+
+// Name implements Refiner.
+func (*Bokhari) Name() string { return "bokhari" }
+
+// Refine implements Refiner.
+func (bo *Bokhari) Refine(ctx context.Context, sess *schedule.SwapSession, b Budget, rng *rand.Rand) Trace {
+	tr := Trace{Final: sess.TotalTime()}
+	free := b.free(sess)
+	if len(free) < 2 || b.Trials <= 0 {
+		return tr
+	}
+	jumps := bo.Jumps
+	if jumps == 0 {
+		jumps = 2 * len(free)
+	}
+	jumpSwaps := bo.JumpSwaps
+	if jumpSwaps == 0 {
+		jumpSwaps = len(free) / 4
+	}
+	if jumpSwaps < 1 {
+		jumpSwaps = 1
+	}
+	bestTotal := sess.TotalTime()
+	bestProc := make([]int, sess.K())
+	copy(bestProc, sess.ProcOf())
+	scratch := make([]int, sess.K())
+
+	descend := Pairwise{}
+	for jump := 0; jump <= jumps; jump++ {
+		sub := descend.Refine(ctx, sess, Budget{
+			Trials:             b.Trials - tr.Trials,
+			Free:               free,
+			LowerBound:         b.LowerBound,
+			DisableTermination: b.DisableTermination,
+			RecordTrials:       b.RecordTrials,
+		}, rng)
+		tr.Trials += sub.Trials
+		tr.Improved += sub.Improved // the descent's incumbent-lowering trials
+		if b.RecordTrials {
+			tr.Totals = append(tr.Totals, sub.Totals...)
+		}
+		if sub.Final < bestTotal {
+			bestTotal = sub.Final
+			copy(bestProc, sess.ProcOf())
+		}
+		if sub.AtBound {
+			tr.Final = bestTotal
+			tr.AtBound = true
+			return tr
+		}
+		if jump == jumps || tr.Trials >= b.Trials || ctx.Err() != nil {
+			break
+		}
+		// Probabilistic jump: random swaps of movable clusters to escape the
+		// local optimum, priced with one whole-assignment evaluation.
+		copy(scratch, sess.ProcOf())
+		for s := 0; s < jumpSwaps; s++ {
+			i, j := schedule.RandSwapPair(rng, len(free))
+			scratch[free[i]], scratch[free[j]] = scratch[free[j]], scratch[free[i]]
+		}
+		total := sess.TryAssign(scratch)
+		tr.Trials++
+		if b.RecordTrials {
+			tr.Totals = append(tr.Totals, total)
+		}
+		if !b.DisableTermination && total == b.LowerBound {
+			tr.Improved++
+			sess.CommitAssign(scratch, total)
+			tr.Final = total
+			tr.AtBound = true
+			return tr
+		}
+		if total < sess.TotalTime() {
+			tr.Improved++ // a jump may lower the incumbent too
+		}
+		sess.CommitAssign(scratch, total)
+	}
+	if bestTotal < sess.TotalTime() {
+		sess.CommitAssign(bestProc, bestTotal)
+	}
+	tr.Final = bestTotal
+	return tr
+}

@@ -1,0 +1,102 @@
+package search
+
+import (
+	"context"
+	"math/rand"
+
+	"mimdmap/internal/schedule"
+)
+
+// Pairwise is steepest-descent pairwise exchange on total time — the
+// refinement alternative the paper discusses in §4.3.3 and the engine of
+// Bokhari-style procedures: sweep every pair of movable clusters, commit
+// the best improving exchange, and repeat until a local optimum, the trial
+// budget, or the lower bound is reached. Deterministic; rng is unused.
+//
+// Each sweep prices its pair swaps schedule.SwapLanes at a time through the
+// session's batch kernel. Because steepest descent commits only after a
+// full sweep, every lane of a sweep is a perturbation of one incumbent and
+// the batching is exact.
+type Pairwise struct {
+	// MaxRounds bounds the number of full sweeps; 0 means sweep until a
+	// local optimum (or the trial budget runs out).
+	MaxRounds int
+}
+
+// Name implements Refiner.
+func (Pairwise) Name() string { return "pairwise" }
+
+// Refine implements Refiner.
+func (p Pairwise) Refine(ctx context.Context, sess *schedule.SwapSession, b Budget, rng *rand.Rand) Trace {
+	tr := Trace{Final: sess.TotalTime()}
+	free := b.free(sess)
+	if len(free) < 2 || b.Trials <= 0 {
+		return tr
+	}
+	const lanes = schedule.SwapLanes
+	var ks, ls, totals [lanes]int
+	for round := 0; p.MaxRounds <= 0 || round < p.MaxRounds; round++ {
+		if ctx.Err() != nil {
+			break
+		}
+		bestK, bestL, bestT := -1, -1, tr.Final
+		exhausted := false
+		n := 0 // filled lanes of the pending batch
+		// flush resolves the pending lanes; it reports true when a trial
+		// reached the lower bound and the run is over.
+		flush := func() bool {
+			if n == 0 {
+				return false
+			}
+			for idx := n; idx < lanes; idx++ {
+				ks[idx], ls[idx] = ks[0], ls[0] // padding lanes, never read
+			}
+			sess.TrySwapBatch(&ks, &ls, &totals)
+			for idx := 0; idx < n; idx++ {
+				total := totals[idx]
+				tr.Trials++
+				if b.RecordTrials {
+					tr.Totals = append(tr.Totals, total)
+				}
+				if !b.DisableTermination && total == b.LowerBound {
+					tr.Improved++
+					tr.Final = total
+					tr.AtBound = true
+					sess.CommitSwap(ks[idx], ls[idx], total)
+					return true
+				}
+				if total < bestT {
+					bestT, bestK, bestL = total, ks[idx], ls[idx]
+				}
+			}
+			n = 0
+			return false
+		}
+		for i := 0; i < len(free)-1 && !exhausted; i++ {
+			for j := i + 1; j < len(free); j++ {
+				if tr.Trials+n >= b.Trials {
+					exhausted = true
+					break
+				}
+				ks[n], ls[n] = free[i], free[j]
+				n++
+				if n == lanes && flush() {
+					return tr
+				}
+			}
+		}
+		if flush() {
+			return tr
+		}
+		if bestK < 0 {
+			break // local optimum
+		}
+		tr.Improved++
+		tr.Final = bestT
+		sess.CommitSwap(bestK, bestL, bestT)
+		if exhausted {
+			break
+		}
+	}
+	return tr
+}

@@ -1,0 +1,151 @@
+package search
+
+import (
+	"context"
+	"math/rand"
+
+	"mimdmap/internal/schedule"
+)
+
+// Paper is the canonical §4.3.3 random-change refinement: per trial,
+// exchange the processors of two random movable clusters, keep the change
+// iff it does not worsen the total time (strictly improves — "keep if
+// better"), and stop early when a trial reaches the lower bound.
+//
+// Trials are priced through the session's batch kernel: almost every trial
+// is a rejected perturbation of the same incumbent, so candidate swaps are
+// drawn ahead and evaluated schedule.SwapLanes at a time in one interleaved
+// pass. Trials still resolve strictly in draw order against the incumbent
+// they would have seen sequentially — when a trial is accepted, the
+// not-yet-resolved candidates of its batch are re-priced against the new
+// incumbent — so results are bit-identical to trial-at-a-time refinement,
+// including the random stream (drawing consumes rng in draw order;
+// evaluation consumes none). This is the exact loop core.Mapper ran before
+// the strategy seam existed, pinned by the mapper's determinism tests.
+type Paper struct{}
+
+// Name implements Refiner.
+func (Paper) Name() string { return "paper" }
+
+// Refine implements Refiner.
+func (Paper) Refine(ctx context.Context, sess *schedule.SwapSession, b Budget, rng *rand.Rand) Trace {
+	tr := Trace{Final: sess.TotalTime()}
+	free := b.free(sess)
+	if len(free) < 2 || b.Trials <= 0 {
+		return tr
+	}
+	const lanes = schedule.SwapLanes
+	var ks, ls, totals [lanes]int
+	var queue [lanes][2]int // drawn but unresolved candidate swaps
+	qlen, drawn := 0, 0
+	for tr.Trials < b.Trials {
+		if ctx.Err() != nil {
+			break
+		}
+		for qlen < lanes && drawn < b.Trials {
+			i, j := schedule.RandSwapPair(rng, len(free))
+			queue[qlen] = [2]int{free[i], free[j]}
+			qlen++
+			drawn++
+		}
+		batched := qlen == lanes
+		if batched {
+			for idx := 0; idx < lanes; idx++ {
+				ks[idx], ls[idx] = queue[idx][0], queue[idx][1]
+			}
+			sess.TrySwapBatch(&ks, &ls, &totals)
+		}
+		resolved := 0
+		accepted := false
+		for idx := 0; idx < qlen; idx++ {
+			k, l := queue[idx][0], queue[idx][1]
+			var total int
+			if batched {
+				total = totals[idx]
+			} else {
+				total = sess.TrySwap(k, l)
+			}
+			tr.Trials++
+			resolved++
+			if b.RecordTrials {
+				tr.Totals = append(tr.Totals, total)
+			}
+			if !b.DisableTermination && total == b.LowerBound {
+				tr.Improved++
+				tr.Final = total
+				tr.AtBound = true
+				sess.CommitSwap(k, l, total)
+				return tr
+			}
+			if total < tr.Final {
+				tr.Improved++
+				tr.Final = total
+				sess.CommitSwap(k, l, total)
+				if batched {
+					// The remaining lanes were priced against the old
+					// incumbent; requeue them for exact re-evaluation.
+					accepted = true
+					break
+				}
+			}
+		}
+		if accepted {
+			copy(queue[:], queue[resolved:qlen])
+		}
+		qlen -= resolved
+	}
+	return tr
+}
+
+// FullReshuffle is the literal reading of §4.3.3 step 4(a): every trial
+// randomly re-permutes all movable clusters over the processors they may
+// occupy. There is no incumbent locality for the batch kernel to exploit,
+// so trials are priced with the session's whole-assignment pass
+// (TryAssign); the permutation and trial buffers are allocated once per
+// run, and schedule.RandPermInto draws from rng exactly as rand.Perm does.
+type FullReshuffle struct{}
+
+// Name implements Refiner.
+func (FullReshuffle) Name() string { return "full-reshuffle" }
+
+// Refine implements Refiner.
+func (FullReshuffle) Refine(ctx context.Context, sess *schedule.SwapSession, b Budget, rng *rand.Rand) Trace {
+	tr := Trace{Final: sess.TotalTime()}
+	free := b.free(sess)
+	if len(free) < 2 || b.Trials <= 0 {
+		return tr
+	}
+	procs := b.freeProcs(sess, free)
+	trial := make([]int, sess.K())
+	copy(trial, sess.ProcOf())
+	perm := make([]int, len(procs))
+	for t := 0; t < b.Trials; t++ {
+		if ctx.Err() != nil {
+			break
+		}
+		tr.Trials++
+		schedule.RandPermInto(rng, perm)
+		for i, k := range free {
+			trial[k] = procs[perm[i]]
+		}
+		total := sess.TryAssign(trial)
+		if b.RecordTrials {
+			tr.Totals = append(tr.Totals, total)
+		}
+		if !b.DisableTermination && total == b.LowerBound {
+			tr.Improved++
+			tr.Final = total
+			tr.AtBound = true
+			sess.CommitAssign(trial, total)
+			return tr
+		}
+		if total < tr.Final {
+			tr.Improved++
+			tr.Final = total
+			sess.CommitAssign(trial, total)
+		} else {
+			copy(trial, sess.ProcOf())
+		}
+	}
+	return tr
+}

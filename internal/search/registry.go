@@ -1,0 +1,93 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// RefinerFactory builds a refiner instance with its default configuration.
+// Refiners draw all randomness from the rng passed to Refine, so factories
+// take no generator.
+type RefinerFactory func() Refiner
+
+// registry is the process-wide name→refiner table, mirroring the clusterer
+// registry in internal/service. The built-in strategies are registered at
+// init; RegisterRefiner adds more. A single registry keeps every CLI flag,
+// the server's strategy listing, and experiment.CompareRefiners in
+// agreement about which names exist.
+var registry = struct {
+	sync.RWMutex
+	factories map[string]RefinerFactory
+}{factories: map[string]RefinerFactory{}}
+
+func init() {
+	// The built-in strategies. "paper" is the canonical §4.3.3 random-change
+	// refinement the mapper runs by default.
+	MustRegisterRefiner("paper", func() Refiner { return Paper{} })
+	MustRegisterRefiner("full-reshuffle", func() Refiner { return FullReshuffle{} })
+	MustRegisterRefiner("pairwise", func() Refiner { return Pairwise{} })
+	MustRegisterRefiner("anneal", func() Refiner { return &Anneal{} })
+	MustRegisterRefiner("bokhari", func() Refiner { return &Bokhari{} })
+}
+
+// RegisterRefiner adds a named search strategy to the registry, making it
+// available to RefinerByName, Request.Refiner, the -refiner CLI flags, the
+// server's strategy listing, and the equal-budget comparison harness. It
+// errors on an empty name, a nil factory, or a name already taken.
+func RegisterRefiner(name string, factory RefinerFactory) error {
+	if name == "" {
+		return fmt.Errorf("search: refiner name must be non-empty")
+	}
+	if factory == nil {
+		return fmt.Errorf("search: refiner %q has a nil factory", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		return fmt.Errorf("search: refiner %q already registered", name)
+	}
+	registry.factories[name] = factory
+	return nil
+}
+
+// MustRegisterRefiner is RegisterRefiner, panicking on error — for package
+// init blocks.
+func MustRegisterRefiner(name string, factory RefinerFactory) {
+	if err := RegisterRefiner(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// RefinerByName instantiates a registered strategy. Unknown names list the
+// registered alternatives.
+func RefinerByName(name string) (Refiner, error) {
+	registry.RLock()
+	factory, ok := registry.factories[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("search: unknown refiner %q (registered: %s)", name, RefinerUsage())
+	}
+	return factory(), nil
+}
+
+// RefinerNames returns the registered strategy names in sorted order — the
+// single source of truth for CLI flag help text and the server's strategy
+// listing.
+func RefinerNames() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.factories))
+	for name := range registry.factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RefinerUsage renders the registered names as a comma-separated list for
+// flag descriptions and error messages.
+func RefinerUsage() string {
+	return strings.Join(RefinerNames(), ", ")
+}

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mimdmap/internal/graph"
+	"mimdmap/internal/schedule"
+	"mimdmap/internal/search"
+)
+
+// refinerProblem builds a small random DAG for refiner-request tests.
+func refinerProblem(t *testing.T) *graph.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(8))
+	p := graph.NewProblem(20)
+	for i := range p.Size {
+		p.Size[i] = 1 + rng.Intn(9)
+	}
+	for a := 0; a < 20; a++ {
+		for b := a + 1; b < 20; b++ {
+			if rng.Float64() < 0.15 {
+				p.SetEdge(a, b, 1+rng.Intn(4))
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRefinerNamesSortedAndComplete(t *testing.T) {
+	names := RefinerNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("names not sorted: %v", names)
+	}
+	for _, want := range []string{"anneal", "bokhari", "full-reshuffle", "paper", "pairwise"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registry misses %q (has %v)", want, names)
+		}
+	}
+}
+
+func TestRefinerByNameUnknownIsValidationError(t *testing.T) {
+	_, err := RefinerByName("nope")
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("unknown refiner error %T, want *ValidationError", err)
+	}
+	if verr.Field != "Refiner" {
+		t.Fatalf("field %q, want Refiner", verr.Field)
+	}
+}
+
+// TestSolveRefinerValidation: unknown names and the Refiner/Options.Refiner
+// conflict must be 400-class validation errors, before any solving work.
+func TestSolveRefinerValidation(t *testing.T) {
+	prob := refinerProblem(t)
+	base := func() *Request {
+		return &Request{Problem: prob, Topology: "mesh-2x3", Clusterer: "round-robin", Seed: 5}
+	}
+	bad := base()
+	bad.Refiner = "no-such"
+	if _, err := new(Solver).Solve(context.Background(), bad); err == nil {
+		t.Fatal("unknown refiner accepted")
+	} else {
+		var verr *ValidationError
+		if !errors.As(err, &verr) {
+			t.Fatalf("unknown refiner error %T, want *ValidationError", err)
+		}
+	}
+	both := base()
+	both.Refiner = "paper"
+	both.Options.Refiner = search.Paper{}
+	if _, err := new(Solver).Solve(context.Background(), both); err == nil {
+		t.Fatal("Refiner + Options.Refiner accepted")
+	}
+}
+
+// TestSolveNamedPaperMatchesDefault: naming the canonical strategy must be
+// bit-identical to the default request — same assignment, totals, counts —
+// since the default IS the paper refiner.
+func TestSolveNamedPaperMatchesDefault(t *testing.T) {
+	prob := refinerProblem(t)
+	solve := func(refiner string) *Response {
+		resp, err := new(Solver).Solve(context.Background(), &Request{
+			Problem: prob, Topology: "mesh-2x3", Clusterer: "round-robin", Seed: 11,
+			Refiner: refiner,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	def, named := solve(""), solve("paper")
+	if def.Result.TotalTime != named.Result.TotalTime ||
+		def.Result.Refinements != named.Result.Refinements ||
+		def.Result.Improved != named.Result.Improved ||
+		!def.Result.Assignment.Equal(named.Result.Assignment) {
+		t.Fatalf("named paper diverges from default: %+v vs %+v", def.Result, named.Result)
+	}
+	if named.Diagnostics.Refiner != "paper" {
+		t.Fatalf("diagnostics refiner %q, want paper", named.Diagnostics.Refiner)
+	}
+	if def.Diagnostics.Refiner != "" {
+		t.Fatalf("default diagnostics refiner %q, want empty", def.Diagnostics.Refiner)
+	}
+}
+
+// TestSolveEveryRefinerDeterministic: every registered strategy solves the
+// same request reproducibly and never worsens the initial assignment.
+func TestSolveEveryRefinerDeterministic(t *testing.T) {
+	prob := refinerProblem(t)
+	for _, name := range RefinerNames() {
+		run := func() *Response {
+			resp, err := new(Solver).Solve(context.Background(), &Request{
+				Problem: prob, Topology: "mesh-2x3", Clusterer: "round-robin", Seed: 3,
+				Refiner: name,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return resp
+		}
+		a, b := run(), run()
+		if a.Result.TotalTime != b.Result.TotalTime || !a.Result.Assignment.Equal(b.Result.Assignment) {
+			t.Fatalf("%s not deterministic", name)
+		}
+		if a.Result.TotalTime > a.Result.InitialTotalTime {
+			t.Fatalf("%s worsened the initial assignment: %d > %d",
+				name, a.Result.TotalTime, a.Result.InitialTotalTime)
+		}
+		if a.Diagnostics.Refiner != name {
+			t.Fatalf("diagnostics refiner %q, want %q", a.Diagnostics.Refiner, name)
+		}
+	}
+}
+
+// TestRegisteredRefinerReachableFromSolve mirrors the clusterer-extension
+// test: a custom registered strategy must be resolvable end to end.
+func TestRegisteredRefinerReachableFromSolve(t *testing.T) {
+	name := fmt.Sprintf("test-null-refiner-%d", rand.Int())
+	if err := RegisterRefiner(name, func() search.Refiner { return nullRefiner{name} }); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := new(Solver).Solve(context.Background(), &Request{
+		Problem: refinerProblem(t), Topology: "mesh-2x3", Clusterer: "round-robin", Seed: 2,
+		Refiner: name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Refinements != 0 {
+		t.Fatalf("null refiner performed %d refinements", resp.Result.Refinements)
+	}
+	if resp.Result.TotalTime != resp.Result.InitialTotalTime {
+		t.Fatal("null refiner changed the mapping")
+	}
+}
+
+// nullRefiner performs no trials — registrable from outside internal/search.
+type nullRefiner struct{ name string }
+
+func (n nullRefiner) Name() string { return n.name }
+func (nullRefiner) Refine(_ context.Context, sess *schedule.SwapSession, _ search.Budget, _ *rand.Rand) search.Trace {
+	return search.Trace{Final: sess.TotalTime()}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"mimdmap/internal/cluster"
+	"mimdmap/internal/search"
 )
 
 // ClustererFactory builds a clusterer instance. Strategies that draw
@@ -96,4 +97,39 @@ func ClustererNames() []string {
 // flag descriptions and error messages.
 func ClustererUsage() string {
 	return strings.Join(ClustererNames(), ", ")
+}
+
+// The refiner registry lives in internal/search (the strategies themselves
+// are defined there); the service layer re-exports it so callers, CLIs and
+// the server resolve both strategy kinds — clusterers and refiners —
+// through one package, with uniform *ValidationError reporting.
+
+// RefinerFactory builds a search-strategy instance for RegisterRefiner.
+type RefinerFactory = search.RefinerFactory
+
+var (
+	// RegisterRefiner adds a named search strategy to the shared registry,
+	// making it available to RefinerByName, Request.Refiner, the -refiner
+	// CLI flags, and the server's strategy listing.
+	RegisterRefiner = search.RegisterRefiner
+	// RefinerNames returns the registered search-strategy names in sorted
+	// order — the single source of truth for CLI flag help text and the
+	// server's GET /strategies.
+	RefinerNames = search.RefinerNames
+	// RefinerUsage renders the registered names as a comma-separated list
+	// for flag descriptions and error messages.
+	RefinerUsage = search.RefinerUsage
+)
+
+// RefinerByName instantiates a registered search strategy. Unknown names
+// yield a *ValidationError listing the registered alternatives.
+func RefinerByName(name string) (search.Refiner, error) {
+	r, err := search.RefinerByName(name)
+	if err != nil {
+		return nil, &ValidationError{
+			Field: "Refiner",
+			Msg:   fmt.Sprintf("unknown refiner %q (registered: %s)", name, RefinerUsage()),
+		}
+	}
+	return r, nil
 }

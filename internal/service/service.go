@@ -13,6 +13,7 @@ import (
 	"mimdmap/internal/parallel"
 	"mimdmap/internal/paths"
 	"mimdmap/internal/schedule"
+	"mimdmap/internal/search"
 	"mimdmap/internal/topology"
 )
 
@@ -47,6 +48,13 @@ type Request struct {
 	// machine size, as the paper requires.
 	Clusterer string
 
+	// Refiner names a registered search strategy (see RefinerByName) that
+	// improves the initial assignment — "paper", "pairwise", "anneal", ….
+	// Empty means the mapper's default, the paper's §4.3.3 random-change
+	// refinement (or whatever Options.Move/Options.Refiner select).
+	// Mutually exclusive with Options.Refiner.
+	Refiner string
+
 	// Seed drives every random stream of the request: the clusterer, random
 	// topology construction, and — unless Options.Rand is set — the
 	// refinement chains. 0 means Options.Seed, or 1 if that is unset too.
@@ -72,6 +80,10 @@ type Diagnostics struct {
 	// Clusterer is the name of the strategy that produced the clustering,
 	// or "" when the request carried an explicit Clustering.
 	Clusterer string
+	// Refiner is the name of the search strategy that refined the mapping,
+	// or "" when the request ran the mapper's default (or carried an
+	// Options.Refiner instance directly).
+	Refiner string
 	// DistanceCached reports that the machine's shortest-path table came
 	// from the solver's cache rather than a fresh paths.New.
 	DistanceCached bool
@@ -195,6 +207,9 @@ func validate(req *Request) *ValidationError {
 	case req.Clustering != nil && req.Clusterer != "":
 		return &ValidationError{Field: "Clusterer", Msg: "Clustering and Clusterer are mutually exclusive"}
 	}
+	if req.Refiner != "" && req.Options.Refiner != nil {
+		return &ValidationError{Field: "Refiner", Msg: "Refiner and Options.Refiner are mutually exclusive"}
+	}
 	return nil
 }
 
@@ -205,6 +220,16 @@ func (s *Solver) Solve(ctx context.Context, req *Request) (*Response, error) {
 	began := time.Now()
 	if verr := validate(req); verr != nil {
 		return nil, verr
+	}
+	// Resolve the named search strategy before any machine or clustering
+	// work, so a typo'd refiner fails fast instead of after topology
+	// construction and a full clustering pass.
+	var refiner search.Refiner
+	if req.Refiner != "" {
+		var rerr error
+		if refiner, rerr = RefinerByName(req.Refiner); rerr != nil {
+			return nil, rerr
+		}
 	}
 	seed := effectiveSeed(req)
 
@@ -223,6 +248,9 @@ func (s *Solver) Solve(ctx context.Context, req *Request) (*Response, error) {
 	}
 	if opts.Seed == 0 {
 		opts.Seed = seed
+	}
+	if refiner != nil {
+		opts.Refiner = refiner
 	}
 	cached := false
 	if opts.Delays == nil && opts.Dist == nil {
@@ -250,6 +278,7 @@ func (s *Solver) Solve(ctx context.Context, req *Request) (*Response, error) {
 			Machine:        sys.Name,
 			Nodes:          sys.NumNodes(),
 			Clusterer:      clusName,
+			Refiner:        req.Refiner,
 			DistanceCached: cached,
 		},
 		Elapsed: time.Since(began),

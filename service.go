@@ -3,6 +3,7 @@ package mimdmap
 import (
 	"context"
 
+	"mimdmap/internal/search"
 	"mimdmap/internal/service"
 )
 
@@ -54,4 +55,37 @@ var (
 	// ClustererUsage renders the registered names as a comma-separated
 	// list for flag help text.
 	ClustererUsage = service.ClustererUsage
+)
+
+// The pluggable search engine. Every refinement and comparison strategy —
+// the paper's §4.3.3 random-change refinement, pairwise exchange, simulated
+// annealing, Bokhari's procedure — is a Refiner improving a committed
+// batched swap session under an equal trial budget, and the named registry
+// is the single source of truth for which strategies exist: CLI -refiner
+// flags, Request.Refiner, the server's GET /strategies, and the
+// CompareRefiners experiment all resolve through it.
+type (
+	// Refiner is one local-search strategy over cluster→processor
+	// assignments; see Options.Refiner and Request.Refiner.
+	Refiner = search.Refiner
+	// RefinerFactory builds refiner instances for RegisterRefiner.
+	RefinerFactory = search.RefinerFactory
+	// SearchBudget bounds and parameterises one refinement run.
+	SearchBudget = search.Budget
+	// SearchTrace reports what one refinement run did.
+	SearchTrace = search.Trace
+)
+
+// The named-refiner registry, the clusterer registry's twin for search
+// strategies.
+var (
+	// RefinerByName instantiates a registered search strategy.
+	RefinerByName = service.RefinerByName
+	// RegisterRefiner adds a named search strategy to the registry.
+	RegisterRefiner = service.RegisterRefiner
+	// RefinerNames returns the registered names, sorted.
+	RefinerNames = service.RefinerNames
+	// RefinerUsage renders the registered names as a comma-separated list
+	// for flag help text.
+	RefinerUsage = service.RefinerUsage
 )
