@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-refine bench-search bench-smoke ci clean
+.PHONY: all build test race vet bench bench-refine bench-search bench-serve bench-smoke ci clean
 
 all: ci
 
@@ -38,13 +38,21 @@ bench-refine:
 bench-search:
 	$(GO) run ./cmd/mapbench -searchbench -bench-out BENCH_search.json
 
+# Measure the service layer's cold-vs-warm serving throughput (full staged
+# pipeline vs response-cache replay) and append the entry to the recorded
+# trajectory.
+bench-serve:
+	$(GO) run ./cmd/mapbench -servebench -bench-out BENCH_serve.json
+
 # Fast benchmark gate for CI: the Go refinement benchmarks at a short
-# benchtime plus one quick pass of each harness (refinement kernel and the
-# per-refiner search benchmark), so none can rot unnoticed.
+# benchtime plus one quick pass of each harness (refinement kernel, the
+# per-refiner search benchmark and the cold-vs-warm serving benchmark), so
+# none can rot unnoticed.
 bench-smoke:
 	$(GO) test -bench Refine -benchtime 10x -run '^$$' ./internal/schedule/
 	$(GO) run ./cmd/mapbench -refinebench -bench-quick
 	$(GO) run ./cmd/mapbench -searchbench -bench-quick
+	$(GO) run ./cmd/mapbench -servebench -bench-quick
 
 ci: build vet test race bench-smoke
 

@@ -16,6 +16,9 @@
 //	mapbench -refinebench -bench-out BENCH_refine.json
 //	                             # measure the refinement hot path and append
 //	                             # the trajectory entry (see -bench-label)
+//	mapbench -servebench -bench-out BENCH_serve.json
+//	                             # measure the service layer's cold-vs-warm
+//	                             # serving throughput
 //
 // Independent experiments fan out across -workers goroutines; the output
 // is byte-identical at any worker count because every instance derives its
@@ -58,6 +61,7 @@ type benchFlags struct {
 	sweep       bool
 	refinebench bool
 	searchbench bool
+	servebench  bool
 	benchOut    string
 	benchLabel  string
 	benchQuick  bool
@@ -82,9 +86,10 @@ func parseFlags(args []string) (benchFlags, error) {
 		refiner    = fs.String("refiner", "", "search strategy refining the table and sweep mappings (default: the paper's random-change refinement): "+experiment.RefinerUsage())
 		refine     = fs.Bool("refinebench", false, "run only the refinement hot-path benchmark (batched swap trials on Table 1-3 style workloads)")
 		searchb    = fs.Bool("searchbench", false, "run only the search-strategy benchmark (trials/sec of every registered refiner; see -bench-out)")
-		benchOut   = fs.String("bench-out", "", "with -refinebench/-searchbench: append the measured entry to this JSON trajectory file (e.g. BENCH_refine.json, BENCH_search.json); empty = print only")
-		benchLabel = fs.String("bench-label", "", "with -refinebench/-searchbench: label of the recorded entry (default \"current\")")
-		benchQuick = fs.Bool("bench-quick", false, "with -refinebench/-searchbench: fast single-pass measurement for CI smoke tests")
+		serveb     = fs.Bool("servebench", false, "run only the serving-throughput benchmark (cold vs warm solves/sec of the service layer; see -bench-out)")
+		benchOut   = fs.String("bench-out", "", "with -refinebench/-searchbench/-servebench: append the measured entry to this JSON trajectory file (e.g. BENCH_refine.json, BENCH_search.json, BENCH_serve.json); empty = print only")
+		benchLabel = fs.String("bench-label", "", "with -refinebench/-searchbench/-servebench: label of the recorded entry (default \"current\")")
+		benchQuick = fs.Bool("bench-quick", false, "with -refinebench/-searchbench/-servebench: fast single-pass measurement for CI smoke tests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return benchFlags{}, err
@@ -107,6 +112,7 @@ func parseFlags(args []string) (benchFlags, error) {
 		sweep:       *sweep,
 		refinebench: *refine,
 		searchbench: *searchb,
+		servebench:  *serveb,
 		benchOut:    *benchOut,
 		benchLabel:  *benchLabel,
 		benchQuick:  *benchQuick,
@@ -131,6 +137,9 @@ func report(f benchFlags, w io.Writer) error {
 	}
 	if f.searchbench {
 		return searchBenchReport(w, cfg.MasterSeed, f.benchLabel, f.benchOut, f.benchQuick)
+	}
+	if f.servebench {
+		return serveBenchReport(w, cfg.MasterSeed, f.benchLabel, f.benchOut, f.benchQuick)
 	}
 	all := f.table == 0 && f.fig == "" && !f.ablation && !f.extension && !f.sweep
 

@@ -1,0 +1,81 @@
+package main
+
+// The -servebench mode measures the service layer's cold-versus-warm
+// serving throughput — the staged solve pipeline executed end to end
+// (NoCache) against the fingerprint-keyed response cache replaying
+// identical requests — on Table 1–3 style workloads, and records the
+// trajectory in BENCH_serve.json at the repo root, exactly like the
+// refinement and search-strategy trajectories.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"mimdmap/internal/experiment"
+)
+
+// serveEntry is one labelled benchmark run.
+type serveEntry struct {
+	Label     string                     `json:"label"`
+	Date      string                     `json:"date"`
+	GoVersion string                     `json:"go_version"`
+	Workloads []experiment.ServeWorkload `json:"workloads"`
+}
+
+// serveFile is the on-disk shape of BENCH_serve.json.
+type serveFile struct {
+	Description string       `json:"description"`
+	Entries     []serveEntry `json:"entries"`
+}
+
+// serveBenchReport runs the harness and appends one labelled entry to the
+// JSON trajectory at outPath ("" prints to w only). quick runs the short
+// CI smoke pass instead of the recorded measurement.
+func serveBenchReport(w io.Writer, seed int64, label, outPath string, quick bool) error {
+	if label == "" {
+		label = "current"
+	}
+	workloads, err := experiment.ServeThroughput(experiment.Config{MasterSeed: seed}, quick)
+	if err != nil {
+		return err
+	}
+	entry := serveEntry{
+		Label:     label,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Workloads: workloads,
+	}
+	fmt.Fprintf(w, "=== Serving-throughput benchmark (%s) ===\n", label)
+	fmt.Fprintf(w, "%-22s %6s %4s %16s %16s %10s\n", "workload", "np", "ns", "cold solves/s", "warm solves/s", "speedup")
+	for _, wl := range workloads {
+		fmt.Fprintf(w, "%-22s %6d %4d %16.0f %16.0f %9.0fx\n",
+			wl.Name, wl.NP, wl.NS, wl.ColdSolvesPerSec, wl.WarmSolvesPerSec, wl.Speedup)
+	}
+	if outPath == "" {
+		return nil
+	}
+	file := serveFile{
+		Description: "Serving-throughput trajectory: cold (NoCache, full staged pipeline) vs warm (response-cache replay) solves/sec of the service layer on Table 1–3 style workloads. Regenerate with `make bench-serve`.",
+	}
+	if data, err := os.ReadFile(outPath); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("servebench: %s exists but is not valid JSON: %w", outPath, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	file.Entries = append(file.Entries, entry)
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "recorded entry %q in %s (%d entries)\n", label, outPath, len(file.Entries))
+	return nil
+}

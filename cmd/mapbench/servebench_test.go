@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServeBenchQuickSmoke drives the whole cold-vs-warm serving benchmark
+// path once: all three workloads must report, and the warm replay must
+// outpace the cold pipeline on every one.
+func TestServeBenchQuickSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-servebench", "-bench-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, name := range []string{"table1/hypercube-32", "table2/mesh-4x4", "table3/random-24"} {
+		if !strings.Contains(report, name) {
+			t.Fatalf("workload %q missing from report:\n%s", name, report)
+		}
+	}
+}
+
+// TestServeBenchRecordsTrajectory: repeated runs append labelled entries
+// to the JSON file instead of overwriting it, and every recorded workload
+// shows a warm-over-cold speedup.
+func TestServeBenchRecordsTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	for _, label := range []string{"first", "second"} {
+		var out strings.Builder
+		if err := run([]string{"-servebench", "-bench-quick", "-bench-label", label, "-bench-out", path}, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file serveFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("trajectory not valid JSON: %v\n%s", err, data)
+	}
+	if len(file.Entries) != 2 || file.Entries[0].Label != "first" || file.Entries[1].Label != "second" {
+		t.Fatalf("trajectory entries wrong: %+v", file.Entries)
+	}
+	for _, e := range file.Entries {
+		if len(e.Workloads) != 3 {
+			t.Fatalf("entry %q has %d workloads, want 3", e.Label, len(e.Workloads))
+		}
+		for _, wl := range e.Workloads {
+			if wl.ColdSolvesPerSec <= 0 || wl.WarmSolvesPerSec <= 0 {
+				t.Fatalf("entry %q workload %s has non-positive rates: %+v", e.Label, wl.Name, wl)
+			}
+			if wl.Speedup <= 1 {
+				t.Fatalf("entry %q workload %s shows no warm-path speedup: %+v", e.Label, wl.Name, wl)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzSolveRequest fuzzes the JSON wire format the way the handler reads
+// it, mirroring graph.FuzzParseProblem: any body the decode step accepts
+// must round-trip — marshal → decode yields the identical wire struct, and
+// converting either copy to a solver request succeeds with equal graphs —
+// and no body, however mangled, may panic the decode/convert path. (The
+// handler additionally bounds bodies with http.MaxBytesReader; the fuzzer
+// drives the layer below it.)
+func FuzzSolveRequest(f *testing.F) {
+	seeds := []string{
+		`{"problem": "problem 2\ntask 0 3\ntask 1 4\nedge 0 1 2\n", "topology": "ring-2", "clusterer": "blocks"}`,
+		`{"problem": "problem 1\ntask 0 2\n", "system": "system 2\nlink 0 1\n", "clusterer": "random", "seed": 7}`,
+		`{"problem": "problem 2\ntask 0 1\ntask 1 1\n", "topology": "chain-2",
+		  "clustering": "clustering 2 2\nassign 0 0\nassign 1 1\n",
+		  "refiner": "pairwise", "starts": 3, "refinements": 5,
+		  "full_propagation": true, "no_cache": true}`,
+		`{"problem": ""}`,
+		`{}`,
+		`{"requests": "not an array"}`,
+		`{"seed": 9223372036854775807}`,
+		`{"problem": "problem 99999999\n"}`,
+		`{"problem": "problem -1\n"}`,
+	}
+	for _, seed := range seeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		dec := json.NewDecoder(strings.NewReader(in))
+		dec.DisallowUnknownFields()
+		var wire solveRequest
+		if err := dec.Decode(&wire); err != nil {
+			return // rejected bodies just must not panic
+		}
+		req, err := toRequest(&wire, 0)
+		if err != nil {
+			return // graph-level rejections are fine; they become 400s
+		}
+		out, err := json.Marshal(&wire)
+		if err != nil {
+			t.Fatalf("accepted wire request does not marshal: %v", err)
+		}
+		var again solveRequest
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("marshalled wire request does not re-parse: %v\nwire: %s", err, out)
+		}
+		if !reflect.DeepEqual(wire, again) {
+			t.Fatalf("wire round trip changed the request:\nin:  %+v\nout: %+v", wire, again)
+		}
+		req2, err := toRequest(&again, 0)
+		if err != nil {
+			t.Fatalf("round-tripped wire request no longer converts: %v", err)
+		}
+		if (req.Problem == nil) != (req2.Problem == nil) ||
+			(req.Problem != nil && !req.Problem.Equal(req2.Problem)) {
+			t.Fatal("round trip changed the parsed problem")
+		}
+		if (req.System == nil) != (req2.System == nil) ||
+			(req.System != nil && (!req.System.Equal(req2.System) || req.System.Name != req2.System.Name)) {
+			t.Fatal("round trip changed the parsed system")
+		}
+		if (req.Clustering == nil) != (req2.Clustering == nil) {
+			t.Fatal("round trip changed the parsed clustering")
+		}
+		if req.Clustering != nil && !reflect.DeepEqual(req.Clustering.Of, req2.Clustering.Of) {
+			t.Fatal("round trip changed the clustering assignment")
+		}
+		if req.Seed != req2.Seed || req.NoCache != req2.NoCache ||
+			req.Topology != req2.Topology || req.Clusterer != req2.Clusterer ||
+			req.Refiner != req2.Refiner {
+			t.Fatal("round trip changed scalar request fields")
+		}
+	})
+}

@@ -1,0 +1,302 @@
+package main
+
+// Async job serving. POST /solve holds the connection for the whole solve;
+// a placement service fronting slow clients or large batches wants
+// fire-and-poll instead: POST /jobs accepts a request (or a batch), answers
+// immediately with a job id, runs the solve in the background through the
+// same shared Solver and concurrency semaphore as /solve, and GET /jobs/{id}
+// reports the state and, once finished, the result. The store is bounded:
+// at most -jobs jobs are retained, finished jobs expire after -job-ttl, and
+// when the store is full of unfinished work new submissions are refused
+// with 503 rather than queueing without bound.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mimdmap"
+)
+
+// Job lifecycle states, as reported by GET /jobs/{id}.
+const (
+	jobQueued  = "queued"  // submitted, waiting for a solve slot
+	jobRunning = "running" // holding a slot, solving
+	jobDone    = "done"    // finished; result(s) attached
+	jobFailed  = "failed"  // finished with a request-level error
+)
+
+// errJobStoreFull reports that every retained job is still queued or
+// running, so nothing can be evicted to make room.
+var errJobStoreFull = errors.New("job store full")
+
+// jobItemResult is one entry of a batch job's results: exactly one of
+// Result and Error is set, mirroring SolveBatch's per-request isolation.
+type jobItemResult struct {
+	Result *solveResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// jobStatusResponse is the wire form of GET /jobs/{id}.
+type jobStatusResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Error is set when State is "failed".
+	Error string `json:"error,omitempty"`
+	// Result carries a finished single-request job's solution.
+	Result *solveResponse `json:"result,omitempty"`
+	// Results carries a finished batch job's per-request outcomes, in
+	// submission order.
+	Results []jobItemResult `json:"results,omitempty"`
+	// Requests is the batch size (0 for single-request jobs).
+	Requests int `json:"requests,omitempty"`
+	// Duration is the wall-clock solve time of a finished job.
+	Duration string `json:"duration,omitempty"`
+}
+
+// jobCreatedResponse is the wire form of a successful POST /jobs.
+type jobCreatedResponse struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// jobCounters is the job-store section of GET /stats.
+type jobCounters struct {
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Evicted   uint64 `json:"evicted"`
+	Stored    int    `json:"stored"`
+	Active    int    `json:"active"` // queued or running right now
+}
+
+// job is one stored submission. Mutable fields are guarded by the store's
+// mutex; snapshots for serving are taken under it.
+type job struct {
+	id      string
+	state   string
+	errMsg  string
+	result  *solveResponse
+	results []jobItemResult
+	batch   int // batch size; 0 = single request
+	// expires is zero while the job is unfinished, then created+TTL; the
+	// store prunes expired jobs lazily on submit and lookup.
+	expires  time.Time
+	began    time.Time
+	duration time.Duration
+}
+
+// jobStore owns the background jobs of one server. Safe for concurrent use.
+type jobStore struct {
+	// ctx bounds every background solve: when the server shuts down,
+	// running jobs are cancelled and report best-so-far or failure.
+	ctx    context.Context
+	solver *mimdmap.Solver
+	// sem is the solve-concurrency semaphore shared with POST /solve, so
+	// background jobs and interactive solves compete for the same slots.
+	sem      chan struct{}
+	capacity int
+	ttl      time.Duration
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	// order holds job ids oldest-first, driving TTL pruning and
+	// oldest-finished eviction when the store is full.
+	order []string
+	seq   uint64
+
+	submitted, completed, failed, evicted uint64
+}
+
+// newJobStore returns a store bounded to capacity retained jobs whose
+// finished entries expire after ttl.
+func newJobStore(ctx context.Context, solver *mimdmap.Solver, sem chan struct{}, capacity int, ttl time.Duration) *jobStore {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if ttl <= 0 {
+		ttl = 10 * time.Minute
+	}
+	return &jobStore{
+		ctx:      ctx,
+		solver:   solver,
+		sem:      sem,
+		capacity: capacity,
+		ttl:      ttl,
+		jobs:     map[string]*job{},
+	}
+}
+
+// prune drops expired jobs. Callers hold s.mu.
+func (s *jobStore) prune(now time.Time) {
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if !j.expires.IsZero() && now.After(j.expires) {
+			delete(s.jobs, id)
+			s.evicted++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// evictOldestFinished removes the oldest finished job to make room,
+// reporting whether one existed. Callers hold s.mu.
+func (s *jobStore) evictOldestFinished() bool {
+	for i, id := range s.order {
+		j := s.jobs[id]
+		if j.state == jobDone || j.state == jobFailed {
+			delete(s.jobs, id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			s.evicted++
+			return true
+		}
+	}
+	return false
+}
+
+// submitSingle stores and launches a one-request job.
+func (s *jobStore) submitSingle(req *mimdmap.Request) (string, error) {
+	return s.submit(0, func(ctx context.Context, j *job) {
+		resp, err := s.solver.Solve(ctx, req)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			s.finish(j, jobFailed, err.Error())
+			return
+		}
+		j.result = toWire(resp)
+		s.finish(j, jobDone, "")
+	})
+}
+
+// submitBatch stores and launches a batch job over SolveBatch. Per-request
+// failures land in the item results; the job itself fails only when the
+// whole batch is cancelled. The batch runs inside the job's single solve
+// slot, so the server constructs its Solver with a batch fan-out of 1 —
+// SolveBatch output is worker-count independent, so the bound changes
+// nothing but pacing.
+func (s *jobStore) submitBatch(reqs []*mimdmap.Request) (string, error) {
+	return s.submit(len(reqs), func(ctx context.Context, j *job) {
+		resps, err := s.solver.SolveBatch(ctx, reqs)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			s.finish(j, jobFailed, err.Error())
+			return
+		}
+		items := make([]jobItemResult, len(resps))
+		for i, resp := range resps {
+			if resp.Err != nil {
+				items[i].Error = resp.Err.Error()
+			} else {
+				items[i].Result = toWire(resp)
+			}
+		}
+		j.results = items
+		s.finish(j, jobDone, "")
+	})
+}
+
+// finish marks a job finished and starts its TTL clock. Callers hold s.mu.
+func (s *jobStore) finish(j *job, state, errMsg string) {
+	j.state = state
+	j.errMsg = errMsg
+	j.duration = time.Since(j.began)
+	j.expires = time.Now().Add(s.ttl)
+	if state == jobFailed {
+		s.failed++
+	} else {
+		s.completed++
+	}
+}
+
+// submit registers a job and launches its runner, which waits for a solve
+// slot before executing.
+func (s *jobStore) submit(batch int, run func(context.Context, *job)) (string, error) {
+	now := time.Now()
+	s.mu.Lock()
+	s.prune(now)
+	if len(s.order) >= s.capacity && !s.evictOldestFinished() {
+		s.mu.Unlock()
+		return "", errJobStoreFull
+	}
+	s.seq++
+	j := &job{
+		id:    fmt.Sprintf("j%d", s.seq),
+		state: jobQueued,
+		batch: batch,
+		began: now,
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.submitted++
+	s.mu.Unlock()
+
+	go func() {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-s.ctx.Done():
+			s.mu.Lock()
+			s.finish(j, jobFailed, "server shutting down before the job got a solve slot")
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Lock()
+		// The job may have been evicted from the store while queued; run
+		// anyway — the id is gone, nobody can observe the result.
+		j.state = jobRunning
+		s.mu.Unlock()
+		run(s.ctx, j)
+	}()
+	return j.id, nil
+}
+
+// status snapshots one job for serving.
+func (s *jobStore) status(id string) (jobStatusResponse, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prune(time.Now())
+	j, ok := s.jobs[id]
+	if !ok {
+		return jobStatusResponse{}, false
+	}
+	out := jobStatusResponse{
+		ID:       j.id,
+		State:    j.state,
+		Error:    j.errMsg,
+		Result:   j.result,
+		Results:  j.results,
+		Requests: j.batch,
+	}
+	if j.state == jobDone || j.state == jobFailed {
+		out.Duration = j.duration.String()
+	}
+	return out, true
+}
+
+// counters snapshots the store's counters for GET /stats.
+func (s *jobStore) counters() jobCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prune(time.Now())
+	active := 0
+	for _, id := range s.order {
+		if st := s.jobs[id].state; st == jobQueued || st == jobRunning {
+			active++
+		}
+	}
+	return jobCounters{
+		Submitted: s.submitted,
+		Completed: s.completed,
+		Failed:    s.failed,
+		Evicted:   s.evicted,
+		Stored:    len(s.order),
+		Active:    active,
+	}
+}

@@ -1,18 +1,26 @@
-// Command mapserve serves the mapping strategy over HTTP — the first
-// serving scenario of the context-first Solver API. A long-running process
-// fields POST /solve requests (problem + machine + clustering strategy as
-// JSON), solves them with one shared mimdmap.Solver whose distance-table
-// cache amortises repeated requests against the same machine, and answers
-// with the mapping, its schedule, and the optimality verdict.
+// Command mapserve serves the mapping strategy over HTTP — the serving
+// scenario of the context-first Solver API. A long-running process fields
+// mapping requests (problem + machine + clustering strategy as JSON),
+// solves them with one shared mimdmap.Solver, and answers with the mapping,
+// its schedule, and the optimality verdict. The solver's staged pipeline
+// does the heavy lifting for a service fronting a fleet of similar
+// machines and workloads: repeated requests replay from the
+// fingerprint-keyed response cache, concurrent identical requests coalesce
+// onto one execution, and distance tables are shared per machine content.
 //
 // Usage:
 //
 //	mapserve                          # listen on :8080
 //	mapserve -addr :9090 -max-concurrent 16
+//	mapserve -jobs 512 -job-ttl 30m   # async job store bounds
 //
 // Endpoints:
 //
 //	POST /solve       solve one mapping request (JSON in, JSON out)
+//	POST /jobs        submit an async job — one request, or a batch as
+//	                  {"requests": [...]} — and get a job id back (202)
+//	GET  /jobs/{id}   job state and, once finished, its result(s)
+//	GET  /stats       solver cache/coalescing + job-store counters, JSON
 //	GET  /healthz     liveness probe
 //	GET  /strategies  registered clusterers and refiners, as JSON
 //
@@ -24,16 +32,19 @@
 //	 "seed": 7, "starts": 4}
 //
 // Responses carry only deterministic fields — wall-clock timing travels in
-// the X-Solve-Duration header so it never perturbs the payload. Totals,
+// the X-Solve-Duration header, and whether the response was replayed from
+// the solver's cache in the X-Cache header ("hit" or "miss"), so neither
+// perturbs the payload. "no_cache": true forces a full execution. Totals,
 // bound, and the optimality verdict are reproducible for a fixed request
 // body; the full body is byte-identical across clients except in one
 // corner: a multi-start request ("starts" > 1) where several chains prove
 // optimality may return any of the proven-optimal assignments, since the
 // first chain to reach the lower bound cancels the rest.
 // Malformed requests (bad JSON, unknown names, invalid graphs) get 400;
-// at most -max-concurrent solves run at once, and extra requests queue
-// until a slot frees or the client gives up. SIGINT/SIGTERM drain in-flight
-// requests before exit.
+// at most -max-concurrent solves run at once — shared between /solve and
+// background jobs — and extra requests queue until a slot frees or the
+// client gives up. SIGINT/SIGTERM drain in-flight requests before exit;
+// unfinished background jobs are cancelled.
 package main
 
 import (
@@ -77,6 +88,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		limit   = fs.Int("max-concurrent", 8, "max mapping requests solved at once (queued beyond that)")
 		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		workers = fs.Int("workers", 0, "max refinement chains per request (0 = all CPUs)")
+		jobCap  = fs.Int("jobs", 256, "max async jobs retained (finished jobs are evicted first when full)")
+		jobTTL  = fs.Duration("job-ttl", 10*time.Minute, "how long finished async jobs stay retrievable")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -88,9 +101,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("-max-concurrent must be positive, got %d", *limit)
 	}
 
+	// The shared solver's batch fan-out is pinned to 1: a batch job holds
+	// exactly one of the -max-concurrent solve slots, so its members must
+	// run sequentially inside it or a single big batch would multiply the
+	// concurrency bound by the CPU count. Batch throughput comes from
+	// submitting several jobs, each competing for its own slot.
 	server := &http.Server{
-		Addr:    *addr,
-		Handler: newHandler(mimdmap.NewSolver(0), *limit, *workers),
+		Addr: *addr,
+		Handler: newHandler(ctx, mimdmap.NewSolver(1), serverConfig{
+			limit:   *limit,
+			workers: *workers,
+			jobCap:  *jobCap,
+			jobTTL:  *jobTTL,
+		}),
 		// A long-running public-facing process needs bounded reads: drop
 		// slowloris clients instead of accumulating their connections.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -117,7 +140,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 }
 
 // solveRequest is the wire form of one mapping request. Graphs travel in
-// the line-oriented text format shared with the cmd tools.
+// the line-oriented text format shared with the cmd tools. The decode step
+// (JSON → solveRequest → mimdmap.Request via toRequest) is the wire-layer
+// stage in front of the solver's validate → … → publish pipeline.
 type solveRequest struct {
 	// Problem is the task DAG, in text format. Required.
 	Problem string `json:"problem"`
@@ -140,6 +165,16 @@ type solveRequest struct {
 	Refinements int `json:"refinements,omitempty"`
 	// FullPropagation selects the full critical-edge propagation mode.
 	FullPropagation bool `json:"full_propagation,omitempty"`
+	// NoCache forces a full execution, bypassing the solver's response
+	// cache and in-flight coalescing.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// jobRequest is the wire form of POST /jobs: either one inline
+// solveRequest, or a batch under "requests" (never both).
+type jobRequest struct {
+	solveRequest
+	Requests []solveRequest `json:"requests,omitempty"`
 }
 
 // solveResponse is the wire form of a solved mapping. It carries only
@@ -177,10 +212,28 @@ type strategiesResponse struct {
 	Refiners   []string `json:"refiners"`
 }
 
+// statsResponse is the wire form of GET /stats: the solver's cache and
+// coalescing counters plus the job store's.
+type statsResponse struct {
+	Cache mimdmap.SolverStats `json:"cache"`
+	Jobs  jobCounters         `json:"jobs"`
+}
+
+// serverConfig carries the handler's bounds; zero job fields get the
+// defaults of newJobStore.
+type serverConfig struct {
+	limit   int
+	workers int
+	jobCap  int
+	jobTTL  time.Duration
+}
+
 // newHandler builds the server's routing: POST /solve behind a semaphore of
-// the given width, GET /healthz, GET /strategies. Exposed for httptest.
-func newHandler(solver *mimdmap.Solver, limit, workers int) http.Handler {
-	sem := make(chan struct{}, limit)
+// the given width, the async job endpoints sharing it, and the read-only
+// probes. ctx bounds background job execution. Exposed for httptest.
+func newHandler(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) http.Handler {
+	sem := make(chan struct{}, cfg.limit)
+	jobs := newJobStore(ctx, solver, sem, cfg.jobCap, cfg.jobTTL)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -197,21 +250,25 @@ func newHandler(solver *mimdmap.Solver, limit, workers int) http.Handler {
 			Refiners:   mimdmap.RefinerNames(),
 		})
 	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, http.StatusOK, statsResponse{
+			Cache: solver.Stats(),
+			Jobs:  jobs.counters(),
+		})
+	})
 	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
-		// Read and validate before taking a solve slot, so slow uploads and
-		// garbage requests never starve real solving work.
+		// Decode and validate before taking a solve slot, so slow uploads
+		// and garbage requests never starve real solving work.
 		var wire solveRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&wire); err != nil {
-			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		if !decodeBody(w, r, &wire) {
 			return
 		}
-		req, err := toRequest(&wire, workers)
+		req, err := toRequest(&wire, cfg.workers)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
@@ -237,9 +294,79 @@ func newHandler(solver *mimdmap.Solver, limit, workers int) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Solve-Duration", time.Since(began).String())
+		if resp.Diagnostics.CacheHit {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
 		writeJSON(w, http.StatusOK, toWire(resp))
 	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var wire jobRequest
+		if !decodeBody(w, r, &wire) {
+			return
+		}
+		id, err := submitJob(jobs, &wire, cfg.workers)
+		if err != nil {
+			if errors.Is(err, errJobStoreFull) {
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+			} else {
+				writeError(w, http.StatusBadRequest, err.Error())
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Location", "/jobs/"+id)
+		writeJSON(w, http.StatusAccepted, jobCreatedResponse{ID: id, URL: "/jobs/" + id})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status, ok := jobs.status(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown or expired job")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, http.StatusOK, status)
+	})
 	return mux
+}
+
+// decodeBody is the wire layer's decode step: a bounded, strict JSON read
+// into dst. On failure it answers 400 and reports false.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// submitJob converts a decoded job submission — one inline request or a
+// batch — into solver requests and hands them to the store. Conversion
+// errors surface before a job exists, so malformed submissions never
+// occupy store slots.
+func submitJob(jobs *jobStore, wire *jobRequest, workers int) (string, error) {
+	if len(wire.Requests) > 0 {
+		if wire.solveRequest != (solveRequest{}) {
+			return "", errors.New("a batch submission must not also carry inline request fields")
+		}
+		reqs := make([]*mimdmap.Request, len(wire.Requests))
+		for i := range wire.Requests {
+			req, err := toRequest(&wire.Requests[i], workers)
+			if err != nil {
+				return "", fmt.Errorf("requests[%d]: %w", i, err)
+			}
+			reqs[i] = req
+		}
+		return jobs.submitBatch(reqs)
+	}
+	req, err := toRequest(&wire.solveRequest, workers)
+	if err != nil {
+		return "", err
+	}
+	return jobs.submitSingle(req)
 }
 
 // toRequest converts the wire request into a solver request, parsing the
@@ -250,6 +377,7 @@ func toRequest(wire *solveRequest, workers int) (*mimdmap.Request, error) {
 		Clusterer: wire.Clusterer,
 		Refiner:   wire.Refiner,
 		Seed:      wire.Seed,
+		NoCache:   wire.NoCache,
 	}
 	req.Options.Starts = wire.Starts
 	req.Options.Workers = workers

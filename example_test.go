@@ -60,19 +60,21 @@ func ExampleSolver_Solve() {
 	fmt.Println("total:", resp.Result.TotalTime)
 	fmt.Println("optimal proven:", resp.Result.OptimalProven)
 
-	// A long-lived solver caches the machine: the second request reuses
-	// the ring's shortest-path table.
+	// A long-lived solver caches whole responses by content fingerprint:
+	// an identical request is replayed without solving anything again.
 	again, err := solver.Solve(context.Background(), req)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("distance table cached:", again.Diagnostics.DistanceCached)
+	fmt.Println("cache hit:", again.Diagnostics.CacheHit)
+	fmt.Println("same total:", again.Result.TotalTime == resp.Result.TotalTime)
 	// Output:
 	// machine: ring-4
 	// clusterer: round-robin
 	// total: 10
 	// optimal proven: true
-	// distance table cached: true
+	// cache hit: true
+	// same total: true
 }
 
 func ExampleDeriveIdeal() {

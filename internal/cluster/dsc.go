@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"mimdmap/internal/graph"
+	"mimdmap/internal/stats"
 )
 
 // DominantSequence is a simplified dominant-sequence clusterer in the
@@ -152,17 +153,7 @@ func foldToK(p *graph.Problem, members [][]int, k int) [][]int {
 	}
 	// Deterministic cluster numbering: by smallest member task.
 	sort.Slice(members, func(x, y int) bool {
-		return minOf(members[x]) < minOf(members[y])
+		return stats.Min(members[x]) < stats.Min(members[y])
 	})
 	return members
-}
-
-func minOf(xs []int) int {
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
-		}
-	}
-	return m
 }

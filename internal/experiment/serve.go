@@ -1,0 +1,132 @@
+package experiment
+
+// The cache-aware serving-throughput harness. The tables measure mapping
+// quality; this measures the service layer's speed at fielding the traffic
+// shape a mapping service actually sees — repeated and concurrent requests
+// for the same (workload, machine) pairs — by racing the solver's cold
+// path (NoCache: full staged pipeline every time) against its warm path
+// (response-cache replay) on Table 1–3 style workloads.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mimdmap/internal/gen"
+	"mimdmap/internal/graph"
+	"mimdmap/internal/service"
+	"mimdmap/internal/topology"
+)
+
+// ServeWorkload is the cold/warm measurement of one workload.
+type ServeWorkload struct {
+	Name string `json:"name"`
+	NP   int    `json:"np"`
+	NS   int    `json:"ns"`
+	// ColdSolvesPerSec is the full-pipeline rate (NoCache requests:
+	// clustering, planning and refinement every time).
+	ColdSolvesPerSec float64 `json:"cold_solves_per_sec"`
+	// WarmSolvesPerSec is the replay rate of the fingerprint-keyed
+	// response cache for an identical request stream.
+	WarmSolvesPerSec float64 `json:"warm_solves_per_sec"`
+	// Speedup is warm over cold.
+	Speedup float64 `json:"speedup"`
+}
+
+// serveWorkloadSpecs returns the measured (name, machine) pairs — the same
+// Table 1–3 trio the refinement and search benches use.
+func serveWorkloadSpecs(seed int64) []struct {
+	name string
+	sys  *graph.System
+} {
+	return []struct {
+		name string
+		sys  *graph.System
+	}{
+		{"table1/hypercube-32", topology.Hypercube(5)},
+		{"table2/mesh-4x4", topology.Mesh(4, 4)},
+		{"table3/random-24", topology.Random(24, 0.08, rand.New(rand.NewSource(seed+100)))},
+	}
+}
+
+// ServeThroughput measures cold-versus-warm serving rates on the Table 1–3
+// workloads with one long-lived Solver, as a service would hold. quick
+// trades precision for speed (the CI smoke gate). The cold figure is
+// measured first, so the warm stream always replays an already-populated
+// cache.
+func ServeThroughput(cfg Config, quick bool) ([]ServeWorkload, error) {
+	seed := cfg.MasterSeed
+	if seed == 0 {
+		seed = 1991
+	}
+	coldIters, warmIters := 12, 20000
+	if quick {
+		coldIters, warmIters = 3, 2000
+	}
+	solver := service.NewSolver(cfg.Workers)
+	ctx := context.Background()
+	var out []ServeWorkload
+	for _, sp := range serveWorkloadSpecs(seed) {
+		ns := sp.sys.NumNodes()
+		prob, clus, err := gen.TableInstance(ns, seed+int64(ns)*7919)
+		if err != nil {
+			return nil, fmt.Errorf("servebench %s: %w", sp.name, err)
+		}
+		request := func(noCache bool) *service.Request {
+			return &service.Request{
+				Problem:    prob,
+				System:     sp.sys,
+				Clustering: clus,
+				Seed:       seed,
+				NoCache:    noCache,
+			}
+		}
+
+		cold, err := solveRate(ctx, solver, request, true, coldIters)
+		if err != nil {
+			return nil, fmt.Errorf("servebench %s cold: %w", sp.name, err)
+		}
+		// Prime the cache, then measure pure replay.
+		if _, err := solver.Solve(ctx, request(false)); err != nil {
+			return nil, err
+		}
+		warm, err := solveRate(ctx, solver, request, false, warmIters)
+		if err != nil {
+			return nil, fmt.Errorf("servebench %s warm: %w", sp.name, err)
+		}
+		wl := ServeWorkload{
+			Name:             sp.name,
+			NP:               prob.NumTasks(),
+			NS:               ns,
+			ColdSolvesPerSec: cold,
+			WarmSolvesPerSec: warm,
+		}
+		if cold > 0 {
+			wl.Speedup = warm / cold
+		}
+		out = append(out, wl)
+	}
+	return out, nil
+}
+
+// solveRate times iters sequential solves of the same request and returns
+// solves/sec. Warm runs verify every response actually hit the cache, so
+// the recorded figure can never silently degrade into re-solving.
+func solveRate(ctx context.Context, solver *service.Solver, request func(noCache bool) *service.Request, noCache bool, iters int) (float64, error) {
+	began := time.Now()
+	for i := 0; i < iters; i++ {
+		resp, err := solver.Solve(ctx, request(noCache))
+		if err != nil {
+			return 0, err
+		}
+		if !noCache && !resp.Diagnostics.CacheHit {
+			return 0, fmt.Errorf("warm solve %d missed the response cache", i)
+		}
+	}
+	elapsed := time.Since(began).Seconds()
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	return float64(iters) / elapsed, nil
+}

@@ -1,0 +1,28 @@
+package experiment
+
+import "testing"
+
+// TestServeThroughputWarmBeatsCold is the harness's own acceptance gate:
+// the response-cache replay must outpace the full pipeline on every
+// Table 1–3 workload, and the measurements must be well-formed.
+func TestServeThroughputWarmBeatsCold(t *testing.T) {
+	workloads, err := ServeThroughput(Config{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workloads) != 3 {
+		t.Fatalf("measured %d workloads, want 3", len(workloads))
+	}
+	for _, wl := range workloads {
+		if wl.NP <= 0 || wl.NS <= 0 {
+			t.Fatalf("workload %s has empty shape: %+v", wl.Name, wl)
+		}
+		if wl.ColdSolvesPerSec <= 0 || wl.WarmSolvesPerSec <= 0 {
+			t.Fatalf("workload %s has non-positive rates: %+v", wl.Name, wl)
+		}
+		if wl.WarmSolvesPerSec <= wl.ColdSolvesPerSec {
+			t.Fatalf("workload %s: warm path (%f/s) does not beat cold (%f/s)",
+				wl.Name, wl.WarmSolvesPerSec, wl.ColdSolvesPerSec)
+		}
+	}
+}

@@ -8,20 +8,34 @@
 // directly or as a registered clusterer name), one seed, and the mapper
 // options. A Solver turns requests into Responses — result, evaluated
 // schedule, diagnostics, timing — one at a time (Solve) or as a batch
-// fanned out over the shared worker pool (SolveBatch). Solvers are safe for
-// concurrent use and cache the all-pairs shortest-path table per machine,
-// so repeated requests against the same system amortise paths.New.
+// fanned out over the shared worker pool (SolveBatch).
+//
+// Solve is an explicit staged pipeline (see pipeline.go):
+// validate → canonicalize → cache-lookup → plan → execute → publish.
+// Canonicalization computes a content-addressed fingerprint of the request
+// (graph.Fingerprint over the problem, machine and clustering, plus the
+// named strategies, seed and solve-relevant options); the fingerprint keys
+// a bounded LRU response cache and an in-flight singleflight layer, so a
+// repeated request replays its Response without solving and concurrent
+// identical requests execute the underlying solve exactly once. The
+// distance-table and topology caches below them are fingerprint-keyed
+// LRUs as well. Request.NoCache opts out of the replay layers;
+// Solver.Stats snapshots hit/miss/eviction and coalescing counters.
 //
 // Determinism contract: a Request carrying an explicit Clustering and
 // Options.Starts <= 1 is solved bit-identically to the sequential paper
-// strategy (core.Mapper.Run) for the same seed, and SolveBatch output is
+// strategy (core.Mapper.Run) for the same seed; SolveBatch output is
 // independent of the worker count, because every request derives its random
-// streams from its own seed and results are collected by index.
+// streams from its own seed and results are collected by index; and a
+// cache hit is byte-identical to the cold solve that populated the entry
+// in everything deterministic (only Elapsed and Diagnostics.CacheHit are
+// per-call). All three are pinned by tests.
 //
-// Concurrency contract: the shared distance-table and topology caches are
-// the only state Solve touches under a lock. Everything downstream — the
-// mapper, its evaluator, the refinement chains — is built per request, and
-// refinement chains within a request evaluate on per-chain evaluator forks,
-// so concurrent solves and batch workers never contend on evaluation
-// scratch state.
+// Concurrency contract: the caches and the flight group are the only state
+// Solve touches under locks. Everything downstream — the mapper, its
+// evaluator, the refinement chains — is built per execution, and
+// refinement chains within a request evaluate on per-chain evaluator
+// forks, so concurrent solves and batch workers never contend on
+// evaluation scratch state. Responses handed out by a caching Solver are
+// shared between callers and must be treated as read-only.
 package service

@@ -1,0 +1,429 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"mimdmap/internal/core"
+	"mimdmap/internal/graph"
+	"mimdmap/internal/parallel"
+	"mimdmap/internal/paths"
+	"mimdmap/internal/schedule"
+	"mimdmap/internal/search"
+	"mimdmap/internal/topology"
+)
+
+// The staged solve pipeline. The paper's strategy is a fixed staged
+// computation — cluster, distances, place, refine — and the service layer
+// mirrors that shape explicitly: Solve threads a solveState through named
+// stages, each separately testable, instead of one monolithic body. The
+// wire layer (cmd/mapserve) contributes the stage before these: decode,
+// turning the JSON wire form into a Request.
+//
+//	validate      request shape, fail-fast refiner resolution, seed
+//	canonicalize  content-addressed fingerprint of the request (or mark
+//	              it uncacheable)
+//	cache-lookup  response-cache probe + in-flight coalescing; a hit or a
+//	              coalesced result finishes the pipeline here
+//	plan          resolve machine, clustering and distance table; build
+//	              the core mapper
+//	execute       run the refinement chains, evaluate the winner
+//	publish       assemble the Response, feed the response cache
+//
+// Stages past cache-lookup run at most once per canonical fingerprint at a
+// time: the first request in becomes the singleflight leader, concurrent
+// identical requests park and share its outcome.
+
+// stage is one named step of the solve pipeline.
+type stage struct {
+	name string
+	run  func(*solveState, context.Context) error
+}
+
+// solveStages are the stages of Solver.Solve in execution order. A
+// package-level value — never mutated — so the warm path allocates nothing
+// for its control flow.
+var solveStages = []stage{
+	{"validate", (*solveState).validate},
+	{"canonicalize", (*solveState).canonicalize},
+	{"cache-lookup", (*solveState).cacheLookup},
+	{"plan", (*solveState).plan},
+	{"execute", (*solveState).execute},
+	{"publish", (*solveState).publish},
+}
+
+// solveState threads one request through the pipeline. Stages fill it in
+// strictly left to right; nothing outside the pipeline touches one.
+type solveState struct {
+	solver *Solver
+	req    *Request
+	began  time.Time
+
+	// validate
+	seed    int64
+	refiner search.Refiner
+
+	// canonicalize
+	key string // canonical request fingerprint; "" = uncacheable
+
+	// cache-lookup: the in-flight call this state leads (nil for
+	// followers, cache hits and uncacheable requests). A leader must
+	// complete its call on every exit path; solveState.run guarantees it.
+	call *flightCall
+
+	// plan
+	sys        *graph.System
+	clus       *graph.Clustering
+	clusName   string
+	distCached bool
+	mapper     *core.Mapper
+
+	// execute
+	result *core.Result
+	sched  *schedule.Result
+
+	// publish (or short-circuited by cache-lookup)
+	resp *Response
+	done bool // the final response exists; skip the remaining stages
+}
+
+// run executes the pipeline. A leader completes its in-flight call on every
+// exit path — success, error, cancellation, even a panic — so waiters never
+// hang and never share a half-built response (a panicking leader publishes
+// an error to its followers, then re-panics).
+func (st *solveState) run(ctx context.Context) (resp *Response, err error) {
+	defer func() {
+		if st.call == nil {
+			return
+		}
+		if p := recover(); p != nil {
+			st.solver.flight.complete(st.key, st.call, nil, fmt.Errorf("service: solve panicked: %v", p), false)
+			panic(p)
+		}
+		st.solver.flight.complete(st.key, st.call, resp, err, ctx.Err() != nil)
+	}()
+	for _, sg := range solveStages {
+		if err = sg.run(st, ctx); err != nil {
+			return nil, err
+		}
+		if st.done {
+			break
+		}
+	}
+	return st.resp, nil
+}
+
+// validate checks the request's declarative shape, resolves the named
+// search strategy (fail fast: a typo'd refiner must not pay for topology
+// construction or a clustering pass), and fixes the root seed.
+func (st *solveState) validate(context.Context) error {
+	if verr := validate(st.req); verr != nil {
+		return verr
+	}
+	if st.req.Refiner != "" {
+		r, err := RefinerByName(st.req.Refiner)
+		if err != nil {
+			return err
+		}
+		st.refiner = r
+	}
+	st.seed = effectiveSeed(st.req)
+	return nil
+}
+
+// canonicalize computes the content-addressed fingerprint that keys the
+// response cache and the in-flight dedup. Requests carrying state the
+// fingerprint cannot capture — a live generator or a refiner instance —
+// and requests that opt out with NoCache stay uncacheable (key "").
+func (st *solveState) canonicalize(context.Context) error {
+	req := st.req
+	if req.NoCache || req.Options.Rand != nil || req.Options.Refiner != nil {
+		st.solver.uncacheable.Add(1)
+		return nil
+	}
+	st.key = canonicalKey(req, st.seed)
+	return nil
+}
+
+// canonicalKey folds every solve-relevant request field into one stable
+// fingerprint: the graphs by content, named strategies by name, the seed,
+// and the options that steer the mapper. Options.Workers is deliberately
+// absent — SolveBatch and multi-start output are worker-count independent,
+// so concurrency knobs must not split cache entries.
+func canonicalKey(req *Request, seed int64) string {
+	h := graph.NewHasher("mimdmap/request/v1")
+	h.Fold(req.Problem.Fingerprint())
+	if req.System != nil {
+		h.Bool(true)
+		h.Fold(req.System.Fingerprint())
+	} else {
+		h.Bool(false)
+		h.Str(req.Topology)
+	}
+	if req.Clustering != nil {
+		h.Bool(true)
+		h.Fold(req.Clustering.Fingerprint())
+	} else {
+		h.Bool(false)
+		h.Str(req.Clusterer)
+	}
+	h.Str(req.Refiner)
+	h.Int64(seed)
+	o := &req.Options
+	h.Int(int(o.Propagation))
+	h.Int(o.MaxRefinements)
+	h.Int(int(o.Move))
+	h.Bool(o.DisableTermination)
+	h.Bool(o.RecordTrials)
+	h.Int(o.Starts)
+	h.Int64(o.Seed)
+	if o.Delays != nil {
+		h.Bool(true)
+		h.Matrix(o.Delays.Delay)
+	} else {
+		h.Bool(false)
+	}
+	if o.Dist != nil {
+		h.Bool(true)
+		h.Matrix(o.Dist.Dist)
+	} else {
+		h.Bool(false)
+	}
+	h.Bool(req.OmitSchedule)
+	return h.Sum().String()
+}
+
+// cacheLookup probes the response cache and joins the in-flight dedup. On
+// a hit (cached or coalesced) it finishes the pipeline with a per-caller
+// copy of the shared response; on a miss it leaves this state the leader
+// and lets the pipeline proceed to plan/execute/publish.
+func (st *solveState) cacheLookup(ctx context.Context) error {
+	if st.key == "" {
+		return nil // uncacheable: always execute
+	}
+	s := st.solver
+	for {
+		if resp, ok := s.results.Get(st.key); ok {
+			st.resp = resp.cachedCopy(st.began)
+			st.done = true
+			return nil
+		}
+		call, leader := s.flight.join(st.key)
+		if leader {
+			st.call = call
+			return nil
+		}
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if call.err != nil {
+			return call.err
+		}
+		if !call.interrupted {
+			s.coalesced.Add(1)
+			st.resp = call.resp.cachedCopy(st.began)
+			st.done = true
+			return nil
+		}
+		// The leader was cancelled mid-solve; its best-so-far mapping is
+		// not shareable. Loop: re-probe the cache, then rejoin the flight
+		// (most likely becoming the next leader).
+	}
+}
+
+// plan resolves the request's machine, clustering and distance table, and
+// builds the core mapper. Resolution happens after cache-lookup on
+// purpose: a warm request never pays for topology construction or a
+// clustering pass.
+func (st *solveState) plan(context.Context) error {
+	req := st.req
+	sys, err := st.solver.resolveSystem(req, st.seed)
+	if err != nil {
+		return err
+	}
+	st.sys = sys
+	clus, clusName, err := resolveClustering(req, sys, st.seed)
+	if err != nil {
+		return err
+	}
+	st.clus, st.clusName = clus, clusName
+
+	opts := req.Options
+	if opts.Rand == nil {
+		opts.Rand = rand.New(rand.NewSource(st.seed))
+	}
+	if opts.Seed == 0 {
+		opts.Seed = st.seed
+	}
+	if st.refiner != nil {
+		opts.Refiner = st.refiner
+	}
+	if opts.Delays == nil && opts.Dist == nil {
+		opts.Dist, st.distCached = st.solver.distances(sys)
+	}
+	m, err := core.New(req.Problem, clus, sys, opts)
+	if err != nil {
+		return &ValidationError{Msg: "mapper rejected inputs", Err: err}
+	}
+	st.mapper = m
+	return nil
+}
+
+// execute runs the refinement chains and, unless the request opted out,
+// evaluates the winning assignment's schedule. Cancelling ctx mid-
+// refinement yields the best mapping found so far, per the Solve contract.
+func (st *solveState) execute(ctx context.Context) error {
+	res, err := st.mapper.RunParallel(ctx)
+	if err != nil {
+		return err
+	}
+	st.result = res
+	if !st.req.OmitSchedule {
+		st.sched = st.mapper.Evaluator().Evaluate(res.Assignment)
+	}
+	return nil
+}
+
+// publish assembles the Response and feeds the response cache. Interrupted
+// executions (ctx cancelled mid-refinement) still answer their caller but
+// never populate the cache: a best-so-far mapping is not the deterministic
+// response a future identical request is promised.
+func (st *solveState) publish(ctx context.Context) error {
+	resp := &Response{
+		Result:     st.result,
+		Schedule:   st.sched,
+		System:     st.sys,
+		Clustering: st.clus,
+		Diagnostics: Diagnostics{
+			Machine:        st.sys.Name,
+			Nodes:          st.sys.NumNodes(),
+			Clusterer:      st.clusName,
+			Refiner:        st.req.Refiner,
+			DistanceCached: st.distCached,
+		},
+		Elapsed: time.Since(st.began),
+	}
+	if st.key != "" && ctx.Err() == nil {
+		st.solver.results.Put(st.key, resp)
+	}
+	st.resp = resp
+	return nil
+}
+
+// cachedCopy returns a per-caller view of a cached or coalesced response:
+// the deep state (result, schedule, graphs) is shared read-only, the
+// wall-clock timing is the caller's own, and the cache-hit diagnostic is
+// set. Everything deterministic is byte-identical to the cold response.
+func (r *Response) cachedCopy(began time.Time) *Response {
+	out := *r
+	out.Diagnostics.CacheHit = true
+	out.Elapsed = time.Since(began)
+	return &out
+}
+
+// effectiveSeed resolves the request's root seed: Request.Seed, then
+// Options.Seed, then 1 — mirroring the defaults of the classic API so a
+// zero-valued request reproduces Map's behaviour.
+func effectiveSeed(req *Request) int64 {
+	if req.Seed != 0 {
+		return req.Seed
+	}
+	if req.Options.Seed != 0 {
+		return req.Options.Seed
+	}
+	return 1
+}
+
+// validate checks the request's declarative shape. Deeper input validation
+// (DAG-ness, cluster counts, connectivity) happens in core.New and is
+// wrapped by the plan stage.
+func validate(req *Request) *ValidationError {
+	if req == nil {
+		return &ValidationError{Msg: "nil request"}
+	}
+	if req.Problem == nil {
+		return &ValidationError{Field: "Problem", Msg: "a problem graph is required"}
+	}
+	switch {
+	case req.System == nil && req.Topology == "":
+		return &ValidationError{Field: "System", Msg: "one of System or Topology is required"}
+	case req.System != nil && req.Topology != "":
+		return &ValidationError{Field: "Topology", Msg: "System and Topology are mutually exclusive"}
+	}
+	switch {
+	case req.Clustering == nil && req.Clusterer == "":
+		return &ValidationError{Field: "Clustering", Msg: "one of Clustering or Clusterer is required"}
+	case req.Clustering != nil && req.Clusterer != "":
+		return &ValidationError{Field: "Clusterer", Msg: "Clustering and Clusterer are mutually exclusive"}
+	}
+	if req.Refiner != "" && req.Options.Refiner != nil {
+		return &ValidationError{Field: "Refiner", Msg: "Refiner and Options.Refiner are mutually exclusive"}
+	}
+	return nil
+}
+
+// resolveSystem returns the request's machine, building (and memoising)
+// topology specs. Random topologies are keyed by spec and derived seed,
+// since their shape depends on the generator. Concurrent misses of one spec
+// may build it twice; content equality makes either copy valid, and the
+// fingerprint-keyed distance cache is identity-blind.
+func (s *Solver) resolveSystem(req *Request, seed int64) (*graph.System, error) {
+	if req.System != nil {
+		return req.System, nil
+	}
+	spec := req.Topology
+	key := spec
+	topoSeed := parallel.DeriveSeed(seed, topologySeedStream)
+	if strings.HasPrefix(spec, "random-") {
+		key = fmt.Sprintf("%s@%d", spec, topoSeed)
+	}
+	if sys, ok := s.systems.Get(key); ok {
+		return sys, nil
+	}
+	sys, err := topology.ByName(spec, rand.New(rand.NewSource(topoSeed)))
+	if err != nil {
+		return nil, &ValidationError{Field: "Topology", Err: err}
+	}
+	s.systems.Put(key, sys)
+	return sys, nil
+}
+
+// resolveClustering returns the request's clustering and, when a named
+// strategy produced it, that strategy's name.
+func resolveClustering(req *Request, sys *graph.System, seed int64) (*graph.Clustering, string, error) {
+	if req.Clustering != nil {
+		return req.Clustering, "", nil
+	}
+	rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, clustererSeedStream)))
+	cl, err := ClustererByName(req.Clusterer, rng)
+	if err != nil {
+		return nil, "", err
+	}
+	clus, err := cl.Cluster(req.Problem, sys.NumNodes())
+	if err != nil {
+		return nil, "", &ValidationError{Field: "Clusterer", Msg: fmt.Sprintf("%s failed", cl.Name()), Err: err}
+	}
+	return clus, cl.Name(), nil
+}
+
+// distances returns the machine's shortest-path table, keyed by the
+// machine's content fingerprint: any machine with identical structure —
+// same pointer or not — shares one table, and this layer never serves a
+// stale table for a mutated machine (the cached *Responses* still alias
+// request graphs, though — see the Request doc's no-mutation contract).
+// Concurrent misses of one machine may compute the table twice; both are
+// identical and either lands in the cache.
+func (s *Solver) distances(sys *graph.System) (t *paths.Table, cached bool) {
+	key := sys.Fingerprint().String()
+	if t, ok := s.dists.Get(key); ok {
+		return t, true
+	}
+	t = paths.New(sys)
+	s.dists.Put(key, t)
+	return t, false
+}

@@ -2,10 +2,9 @@ package service
 
 import (
 	"context"
-	"fmt"
-	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mimdmap/internal/core"
@@ -13,8 +12,6 @@ import (
 	"mimdmap/internal/parallel"
 	"mimdmap/internal/paths"
 	"mimdmap/internal/schedule"
-	"mimdmap/internal/search"
-	"mimdmap/internal/topology"
 )
 
 // Seed streams: every random consumer of a request derives its generator
@@ -29,13 +26,18 @@ const (
 // Request describes one mapping problem to solve. Exactly one of System or
 // Topology must name the machine, and exactly one of Clustering or
 // Clusterer must name the clustering step.
+//
+// Graphs handed to a caching Solver (Problem, System, Clustering) are
+// retained by reference inside cached Responses, so they must not be
+// mutated after the solve — a later cache hit would otherwise hand another
+// caller a Response whose graphs disagree with its result. (The distance
+// cache itself is mutation-proof — it keys by content — but the retained
+// Response pointers are not.)
 type Request struct {
 	// Problem is the task DAG to map. Required.
 	Problem *graph.Problem
 
-	// System is the machine graph, given directly. A long-lived Solver
-	// caches the machine's distance table by identity, so the graph must
-	// not be mutated after it has been handed to one.
+	// System is the machine graph, given directly.
 	System *graph.System
 	// Topology alternatively names the machine as a spec string like
 	// "mesh-4x4" or "hypercube-6" (see topology.ByName).
@@ -59,6 +61,12 @@ type Request struct {
 	// topology construction, and — unless Options.Rand is set — the
 	// refinement chains. 0 means Options.Seed, or 1 if that is unset too.
 	Seed int64
+
+	// NoCache forces a full execution: the request skips the response
+	// cache (lookup and store) and the in-flight coalescing. The distance
+	// and topology caches still apply — NoCache bypasses the layers that
+	// replay prior work, not the ones that share read-only tables.
+	NoCache bool
 
 	// Options tunes the mapper exactly as in the classic API. A nil-Rand
 	// options struct has its Rand and Seed derived from the request Seed,
@@ -87,9 +95,16 @@ type Diagnostics struct {
 	// DistanceCached reports that the machine's shortest-path table came
 	// from the solver's cache rather than a fresh paths.New.
 	DistanceCached bool
+	// CacheHit reports that the response was replayed from the solver's
+	// response cache (or shared from a coalesced in-flight execution)
+	// instead of being solved afresh. Everything deterministic in a hit is
+	// byte-identical to the cold solve that populated the entry.
+	CacheHit bool
 }
 
-// Response is the outcome of solving one Request.
+// Response is the outcome of solving one Request. Responses handed out by
+// a caching Solver are shared between callers — treat every reachable
+// field as read-only.
 type Response struct {
 	// Result is the full mapping result (assignment, total time, lower
 	// bound, refinement statistics, ideal graph, critical analysis).
@@ -105,7 +120,8 @@ type Response struct {
 	Clustering *graph.Clustering
 	// Diagnostics reports resolution details.
 	Diagnostics Diagnostics
-	// Elapsed is the wall-clock time the solve took.
+	// Elapsed is the wall-clock time the solve took — for a cache hit,
+	// the lookup rather than the original execution.
 	Elapsed time.Duration
 	// Err is set instead of the other fields when this response's request
 	// failed inside SolveBatch; Solve reports errors through its own return
@@ -144,151 +160,131 @@ func (e *ValidationError) Error() string {
 // Unwrap exposes the underlying cause to errors.Is/As.
 func (e *ValidationError) Unwrap() error { return e.Err }
 
-// Solver solves mapping Requests. The zero value is ready to use; a Solver
-// is safe for concurrent use and is meant to be long-lived so its caches
-// pay off: it memoises the shortest-path table of every machine it has seen
-// (keyed by system identity) and the machines built from topology specs, so
-// a service fielding many requests against one machine computes paths.New
-// once. The cache trusts system identity — a *graph.System handed to a
-// Solver must not be mutated afterwards, or later solves will reuse its
-// stale distance table.
+// Solver solves mapping Requests through the staged pipeline (see
+// pipeline.go). The zero value is ready to use; a Solver is safe for
+// concurrent use and is meant to be long-lived so its layers pay off:
+//
+//   - a bounded LRU response cache keyed by the canonical request
+//     fingerprint, replaying full Responses for repeated requests;
+//   - in-flight deduplication, coalescing concurrent identical requests
+//     onto one execution;
+//   - a bounded LRU distance-table cache keyed by machine content, so a
+//     fleet of requests against one machine computes paths.New once;
+//   - a bounded LRU cache of machines built from topology specs.
+//
+// All caches key by content fingerprint, never pointer identity, so equal
+// graphs from different callers share entries. Responses from a caching
+// Solver are shared between callers: treat them as read-only. Stats
+// snapshots the cache and coalescing counters. The bound fields must be
+// set before the first Solve; they are fixed once the caches exist.
 type Solver struct {
 	// Workers bounds the SolveBatch fan-out (0 = one worker per CPU). It is
 	// independent of Options.Workers, which bounds the refinement chains
 	// within a single request.
 	Workers int
-	// MaxCachedMachines bounds both caches (0 = 64). When full, the oldest
-	// entry is evicted first-in-first-out.
+	// MaxCachedMachines bounds the distance-table and topology caches
+	// (0 = 64), each evicting least recently used first.
 	MaxCachedMachines int
+	// MaxCachedResults bounds the response cache (0 = 256), evicting
+	// least recently used first.
+	MaxCachedResults int
 
-	mu        sync.Mutex
-	dists     map[*graph.System]*paths.Table
-	distOrder []*graph.System
-	systems   map[string]*graph.System
-	sysOrder  []string
+	initOnce sync.Once
+	results  *lruCache[*Response]
+	dists    *lruCache[*paths.Table]
+	systems  *lruCache[*graph.System]
+	flight   flightGroup
+
+	solves      atomic.Uint64
+	coalesced   atomic.Uint64
+	uncacheable atomic.Uint64
 }
 
 // NewSolver returns a Solver with the given batch fan-out bound
 // (0 = one worker per CPU).
 func NewSolver(workers int) *Solver { return &Solver{Workers: workers} }
 
-// effectiveSeed resolves the request's root seed: Request.Seed, then
-// Options.Seed, then 1 — mirroring the defaults of the classic API so a
-// zero-valued request reproduces Map's behaviour.
-func effectiveSeed(req *Request) int64 {
-	if req.Seed != 0 {
-		return req.Seed
-	}
-	if req.Options.Seed != 0 {
-		return req.Options.Seed
-	}
-	return 1
-}
-
-// validate checks the request's declarative shape. Deeper input validation
-// (DAG-ness, cluster counts, connectivity) happens in core.New and is
-// wrapped by Solve.
-func validate(req *Request) *ValidationError {
-	if req == nil {
-		return &ValidationError{Msg: "nil request"}
-	}
-	if req.Problem == nil {
-		return &ValidationError{Field: "Problem", Msg: "a problem graph is required"}
-	}
-	switch {
-	case req.System == nil && req.Topology == "":
-		return &ValidationError{Field: "System", Msg: "one of System or Topology is required"}
-	case req.System != nil && req.Topology != "":
-		return &ValidationError{Field: "Topology", Msg: "System and Topology are mutually exclusive"}
-	}
-	switch {
-	case req.Clustering == nil && req.Clusterer == "":
-		return &ValidationError{Field: "Clustering", Msg: "one of Clustering or Clusterer is required"}
-	case req.Clustering != nil && req.Clusterer != "":
-		return &ValidationError{Field: "Clusterer", Msg: "Clustering and Clusterer are mutually exclusive"}
-	}
-	if req.Refiner != "" && req.Options.Refiner != nil {
-		return &ValidationError{Field: "Refiner", Msg: "Refiner and Options.Refiner are mutually exclusive"}
-	}
-	return nil
-}
-
-// Solve resolves and solves one request. Validation failures come back as
-// *ValidationError; cancelling ctx mid-refinement returns the best mapping
-// found so far, like the classic MapParallel.
-func (s *Solver) Solve(ctx context.Context, req *Request) (*Response, error) {
-	began := time.Now()
-	if verr := validate(req); verr != nil {
-		return nil, verr
-	}
-	// Resolve the named search strategy before any machine or clustering
-	// work, so a typo'd refiner fails fast instead of after topology
-	// construction and a full clustering pass.
-	var refiner search.Refiner
-	if req.Refiner != "" {
-		var rerr error
-		if refiner, rerr = RefinerByName(req.Refiner); rerr != nil {
-			return nil, rerr
+// init builds the caches on first use, fixing the configured bounds.
+func (s *Solver) init() {
+	s.initOnce.Do(func() {
+		machines := s.MaxCachedMachines
+		if machines <= 0 {
+			machines = 64
 		}
-	}
-	seed := effectiveSeed(req)
+		results := s.MaxCachedResults
+		if results <= 0 {
+			results = 256
+		}
+		s.results = newLRU[*Response](results)
+		s.dists = newLRU[*paths.Table](machines)
+		s.systems = newLRU[*graph.System](machines)
+	})
+}
 
-	sys, err := s.resolveSystem(req, seed)
-	if err != nil {
-		return nil, err
-	}
-	clus, clusName, err := resolveClustering(req, sys, seed)
-	if err != nil {
-		return nil, err
-	}
+// Stats is a point-in-time snapshot of a Solver's cache and coalescing
+// counters, JSON-ready for serving layers (mapserve's GET /stats).
+type Stats struct {
+	// Solves counts every Solve call, including batch members and hits.
+	Solves uint64 `json:"solves"`
 
-	opts := req.Options
-	if opts.Rand == nil {
-		opts.Rand = rand.New(rand.NewSource(seed))
-	}
-	if opts.Seed == 0 {
-		opts.Seed = seed
-	}
-	if refiner != nil {
-		opts.Refiner = refiner
-	}
-	cached := false
-	if opts.Delays == nil && opts.Dist == nil {
-		opts.Dist, cached = s.distances(sys)
-	}
+	// Response-cache counters: lookups that replayed a stored Response,
+	// lookups that missed, entries evicted by the LRU bound, and the
+	// current entry count.
+	ResultHits      uint64 `json:"result_hits"`
+	ResultMisses    uint64 `json:"result_misses"`
+	ResultEvictions uint64 `json:"result_evictions"`
+	CachedResults   int    `json:"cached_results"`
 
-	m, err := core.New(req.Problem, clus, sys, opts)
-	if err != nil {
-		return nil, &ValidationError{Msg: "mapper rejected inputs", Err: err}
-	}
-	res, err := m.RunParallel(ctx)
-	if err != nil {
-		return nil, err
-	}
-	var sched *schedule.Result
-	if !req.OmitSchedule {
-		sched = m.Evaluator().Evaluate(res.Assignment)
-	}
-	return &Response{
-		Result:     res,
-		Schedule:   sched,
-		System:     sys,
-		Clustering: clus,
-		Diagnostics: Diagnostics{
-			Machine:        sys.Name,
-			Nodes:          sys.NumNodes(),
-			Clusterer:      clusName,
-			Refiner:        req.Refiner,
-			DistanceCached: cached,
-		},
-		Elapsed: time.Since(began),
-	}, nil
+	// Distance-table cache counters.
+	DistHits      uint64 `json:"dist_hits"`
+	DistMisses    uint64 `json:"dist_misses"`
+	DistEvictions uint64 `json:"dist_evictions"`
+	CachedDists   int    `json:"cached_dists"`
+
+	// CachedSystems is the number of memoised topology-spec machines.
+	CachedSystems int `json:"cached_systems"`
+
+	// Coalesced counts requests served by another request's in-flight
+	// execution instead of executing themselves.
+	Coalesced uint64 `json:"coalesced"`
+	// Uncacheable counts requests that bypassed the response cache:
+	// NoCache set, or options carrying a live generator or refiner
+	// instance the fingerprint cannot capture.
+	Uncacheable uint64 `json:"uncacheable"`
+}
+
+// Stats snapshots the solver's counters.
+func (s *Solver) Stats() Stats {
+	s.init()
+	var st Stats
+	st.Solves = s.solves.Load()
+	st.Coalesced = s.coalesced.Load()
+	st.Uncacheable = s.uncacheable.Load()
+	st.ResultHits, st.ResultMisses, st.ResultEvictions = s.results.Counters()
+	st.CachedResults = s.results.Len()
+	st.DistHits, st.DistMisses, st.DistEvictions = s.dists.Counters()
+	st.CachedDists = s.dists.Len()
+	st.CachedSystems = s.systems.Len()
+	return st
+}
+
+// Solve resolves and solves one request through the staged pipeline.
+// Validation failures come back as *ValidationError; cancelling ctx
+// mid-refinement returns the best mapping found so far, like the classic
+// MapParallel (a request cancelled while waiting on a coalesced execution
+// returns the context error instead — it holds no partial result).
+func (s *Solver) Solve(ctx context.Context, req *Request) (*Response, error) {
+	s.init()
+	s.solves.Add(1)
+	st := &solveState{solver: s, req: req, began: time.Now()}
+	return st.run(ctx)
 }
 
 // SolveBatch solves every request, fanning out over at most Workers
 // goroutines, and returns the responses in request order — output is
 // independent of the worker count because each request derives its random
-// streams from its own seed. A request that fails yields a Response with
+// streams from its own seed, and identical requests coalesce onto one
+// deterministic execution. A request that fails yields a Response with
 // only Err set, so one bad request never poisons the batch; the returned
 // error is non-nil only when ctx is cancelled before all requests finish.
 func (s *Solver) SolveBatch(ctx context.Context, reqs []*Request) ([]*Response, error) {
@@ -305,98 +301,4 @@ func (s *Solver) SolveBatch(ctx context.Context, reqs []*Request) ([]*Response, 
 		return out, err
 	}
 	return out, nil
-}
-
-// resolveSystem returns the request's machine, building (and memoising)
-// topology specs. Random topologies are keyed by spec and seed, since their
-// shape depends on the generator.
-func (s *Solver) resolveSystem(req *Request, seed int64) (*graph.System, error) {
-	if req.System != nil {
-		return req.System, nil
-	}
-	spec := req.Topology
-	key := spec
-	topoSeed := parallel.DeriveSeed(seed, topologySeedStream)
-	if strings.HasPrefix(spec, "random-") {
-		key = fmt.Sprintf("%s@%d", spec, topoSeed)
-	}
-	s.mu.Lock()
-	sys, ok := s.systems[key]
-	s.mu.Unlock()
-	if ok {
-		return sys, nil
-	}
-	sys, err := topology.ByName(spec, rand.New(rand.NewSource(topoSeed)))
-	if err != nil {
-		return nil, &ValidationError{Field: "Topology", Err: err}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if existing, ok := s.systems[key]; ok {
-		return existing, nil // a concurrent request built it first; share its identity
-	}
-	if s.systems == nil {
-		s.systems = map[string]*graph.System{}
-	}
-	if len(s.sysOrder) >= s.cap() {
-		delete(s.systems, s.sysOrder[0])
-		s.sysOrder = s.sysOrder[1:]
-	}
-	s.systems[key] = sys
-	s.sysOrder = append(s.sysOrder, key)
-	return sys, nil
-}
-
-// resolveClustering returns the request's clustering and, when a named
-// strategy produced it, that strategy's name.
-func resolveClustering(req *Request, sys *graph.System, seed int64) (*graph.Clustering, string, error) {
-	if req.Clustering != nil {
-		return req.Clustering, "", nil
-	}
-	rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, clustererSeedStream)))
-	cl, err := ClustererByName(req.Clusterer, rng)
-	if err != nil {
-		return nil, "", err
-	}
-	clus, err := cl.Cluster(req.Problem, sys.NumNodes())
-	if err != nil {
-		return nil, "", &ValidationError{Field: "Clusterer", Msg: fmt.Sprintf("%s failed", cl.Name()), Err: err}
-	}
-	return clus, cl.Name(), nil
-}
-
-// distances returns the machine's shortest-path table, from the cache when
-// this solver has seen the machine before. The table is computed outside
-// the lock so concurrent solves of distinct machines never serialise.
-func (s *Solver) distances(sys *graph.System) (t *paths.Table, cached bool) {
-	s.mu.Lock()
-	if t, ok := s.dists[sys]; ok {
-		s.mu.Unlock()
-		return t, true
-	}
-	s.mu.Unlock()
-	t = paths.New(sys)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if existing, ok := s.dists[sys]; ok {
-		return existing, true
-	}
-	if s.dists == nil {
-		s.dists = map[*graph.System]*paths.Table{}
-	}
-	if len(s.distOrder) >= s.cap() {
-		delete(s.dists, s.distOrder[0])
-		s.distOrder = s.distOrder[1:]
-	}
-	s.dists[sys] = t
-	s.distOrder = append(s.distOrder, sys)
-	return t, false
-}
-
-// cap resolves the cache bound. Callers hold s.mu.
-func (s *Solver) cap() int {
-	if s.MaxCachedMachines > 0 {
-		return s.MaxCachedMachines
-	}
-	return 64
 }

@@ -120,11 +120,14 @@ func TestSolveMatchesCoreRun(t *testing.T) {
 	}
 }
 
+// TestSolverCachesDistanceTables pins the distance-table layer on its own:
+// NoCache requests bypass the response cache and coalescing, so the second
+// solve re-executes and must find the machine's table by content.
 func TestSolverCachesDistanceTables(t *testing.T) {
 	p := testProblem(t)
 	sys := topology.Mesh(2, 3)
 	var s Solver
-	req := func() *Request { return &Request{Problem: p, System: sys, Clusterer: "round-robin"} }
+	req := func() *Request { return &Request{Problem: p, System: sys, Clusterer: "round-robin", NoCache: true} }
 
 	first, err := s.Solve(context.Background(), req())
 	if err != nil {
@@ -132,6 +135,9 @@ func TestSolverCachesDistanceTables(t *testing.T) {
 	}
 	if first.Diagnostics.DistanceCached {
 		t.Fatal("first solve reported a cache hit")
+	}
+	if first.Diagnostics.CacheHit {
+		t.Fatal("NoCache solve reported a response-cache hit")
 	}
 	second, err := s.Solve(context.Background(), req())
 	if err != nil {
@@ -143,16 +149,26 @@ func TestSolverCachesDistanceTables(t *testing.T) {
 	if !first.Result.Assignment.Equal(second.Result.Assignment) {
 		t.Fatal("cache hit changed the mapping")
 	}
+	// The cache keys by content, not identity: an equal clone of the
+	// machine shares the table.
+	clone := sys.Clone()
+	third, err := s.Solve(context.Background(), &Request{Problem: p, System: clone, Clusterer: "round-robin", NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Diagnostics.DistanceCached {
+		t.Fatal("content-equal machine missed the fingerprint-keyed distance cache")
+	}
 }
 
 func TestSolverSharesTopologySpecMachines(t *testing.T) {
 	p := testProblem(t)
 	var s Solver
-	a, err := s.Solve(context.Background(), &Request{Problem: p, Topology: "mesh-2x3", Clusterer: "blocks"})
+	a, err := s.Solve(context.Background(), &Request{Problem: p, Topology: "mesh-2x3", Clusterer: "blocks", NoCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Solve(context.Background(), &Request{Problem: p, Topology: "mesh-2x3", Clusterer: "blocks"})
+	b, err := s.Solve(context.Background(), &Request{Problem: p, Topology: "mesh-2x3", Clusterer: "blocks", NoCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +185,7 @@ func TestSolverCacheEviction(t *testing.T) {
 	s := Solver{MaxCachedMachines: 1}
 	specs := []string{"mesh-2x3", "ring-6", "mesh-2x3"}
 	for i, spec := range specs {
-		resp, err := s.Solve(context.Background(), &Request{Problem: p, Topology: spec, Clusterer: "blocks"})
+		resp, err := s.Solve(context.Background(), &Request{Problem: p, Topology: spec, Clusterer: "blocks", NoCache: true})
 		if err != nil {
 			t.Fatalf("%s: %v", spec, err)
 		}

@@ -1,0 +1,66 @@
+package service
+
+import "sync"
+
+// In-flight deduplication. A mapping service fronting a fleet of similar
+// machines sees bursts of identical requests; without coalescing, a burst
+// arriving before the first response lands executes the same solve N times
+// and the response cache only helps the stragglers. flightGroup gives every
+// canonical fingerprint at most one executing solve: the first caller
+// becomes the leader and runs the pipeline, later callers park on the
+// call's done channel and share the leader's outcome.
+//
+// One wrinkle the stock singleflight pattern does not have: a cancelled
+// leader legally returns its best-so-far mapping (the Solve contract), but
+// that partial result must be shared with nobody and cached never.
+// complete therefore records whether the leader was interrupted, and
+// waiters whose leader was interrupted loop back to try again (becoming
+// the next leader themselves unless a clean result landed meanwhile).
+
+// flightCall is one in-flight execution of a canonical request.
+type flightCall struct {
+	// done is closed by complete once resp/err/interrupted are final.
+	done chan struct{}
+	resp *Response
+	err  error
+	// interrupted marks a leader whose context was cancelled mid-solve;
+	// its response (a best-so-far mapping) must not be shared or cached.
+	interrupted bool
+}
+
+// flightGroup deduplicates concurrent executions by fingerprint. The zero
+// value is ready to use.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// join returns the in-flight call for key, creating it if absent. leader
+// reports whether this caller created the call and therefore must complete
+// it (on every path, including errors).
+func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// complete publishes the leader's outcome to every waiter and retires the
+// call so the next request starts fresh (normally hitting the response
+// cache, which the leader populated before completing).
+func (g *flightGroup) complete(key string, c *flightCall, resp *Response, err error, interrupted bool) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.resp = resp
+	c.err = err
+	c.interrupted = interrupted
+	close(c.done)
+}

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -45,18 +46,14 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(sum / float64(len(xs)-1))
 }
 
-// Min returns the minimum of xs. It panics on an empty slice.
+// Min returns the minimum of xs. It panics on an empty slice. It is the
+// one slice-min helper of the module; reach for it instead of redeclaring
+// a local.
 func Min(xs []int) int {
 	if len(xs) == 0 {
 		panic("stats: min of empty slice")
 	}
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
-		}
-	}
-	return m
+	return slices.Min(xs)
 }
 
 // Max returns the maximum of xs. It panics on an empty slice.
@@ -64,13 +61,7 @@ func Max(xs []int) int {
 	if len(xs) == 0 {
 		panic("stats: max of empty slice")
 	}
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x > m {
-			m = x
-		}
-	}
-	return m
+	return slices.Max(xs)
 }
 
 // Median returns the median of xs (mean of the two middle elements for even

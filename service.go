@@ -17,12 +17,19 @@ type (
 	Request = service.Request
 	// Response is the outcome of solving one Request.
 	Response = service.Response
-	// Solver solves Requests, one at a time or in batches. It is safe for
-	// concurrent use, and a long-lived Solver caches the shortest-path
-	// table of every machine it has seen, amortising repeated requests
-	// against the same system.
+	// Solver solves Requests, one at a time or in batches, through the
+	// staged pipeline (validate → canonicalize → cache-lookup → plan →
+	// execute → publish). It is safe for concurrent use; a long-lived
+	// Solver replays repeated requests from a fingerprint-keyed response
+	// cache, coalesces concurrent identical requests onto one execution,
+	// and shares distance tables between machines with identical content.
+	// Request.NoCache opts a request out of the replay layers.
 	Solver = service.Solver
-	// Diagnostics reports how the solver resolved a request.
+	// SolverStats is a snapshot of a Solver's cache and coalescing
+	// counters (see Solver.Stats), JSON-ready for serving layers.
+	SolverStats = service.Stats
+	// Diagnostics reports how the solver resolved a request, including
+	// whether the response came from the cache (CacheHit).
 	Diagnostics = service.Diagnostics
 	// ValidationError reports a malformed Request; servers map it to a
 	// 400-class status with errors.As.
