@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-refine bench-search bench-serve bench-smoke ci clean
+.PHONY: all build test race vet bench bench-refine bench-search bench-serve bench-smoke fuzz-smoke ci clean
 
 all: ci
 
@@ -54,7 +54,14 @@ bench-smoke:
 	$(GO) run ./cmd/mapbench -searchbench -bench-quick
 	$(GO) run ./cmd/mapbench -servebench -bench-quick
 
-ci: build vet test race bench-smoke
+# Short fuzzing pass so the checked-in fuzzers actually run in CI instead
+# of only replaying their corpus seeds: ~10s each on the text-format
+# parser and the server's request decoding/solve path.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseProblem$$' -fuzztime 10s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz '^FuzzSolveRequest$$' -fuzztime 10s ./cmd/mapserve/
+
+ci: build vet test race bench-smoke fuzz-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mimdmap"
+	"mimdmap/internal/cluster"
+	"mimdmap/internal/graph"
+)
+
+// gateClusterer blocks inside Cluster until released, so a test can hold a
+// /solve leader mid-pipeline while more identical requests arrive and
+// coalesce onto its flight. Clustering itself delegates to Blocks.
+type gateClusterer struct {
+	name    string
+	entered chan struct{} // receives one value when Cluster begins
+	release chan struct{} // closed by the test to let Cluster finish
+}
+
+func (g *gateClusterer) Name() string { return g.name }
+
+// gateSeq makes registered gate names unique across test reruns in one
+// process (-count > 1): the clusterer registry is global and append-only.
+var gateSeq atomic.Uint64
+
+func (g *gateClusterer) Cluster(p *graph.Problem, k int) (*graph.Clustering, error) {
+	g.entered <- struct{}{}
+	<-g.release
+	return cluster.Blocks{}.Cluster(p, k)
+}
+
+// TestXCacheLeaderFollowerWarmHit pins the X-Cache header's three truthful
+// answers: the leader that actually solves reports "miss", a concurrent
+// identical request that rides the leader's in-flight solve reports
+// "coalesced" (it neither solved nor replayed the cache), and a later
+// request replayed from the response cache reports "hit". The follower
+// timing is inherently racy — a follower that arrives after the leader
+// publishes is a legitimate "hit" — so the leader/follower half retries
+// with a fresh fingerprint until a true coalescing is observed.
+func TestXCacheLeaderFollowerWarmHit(t *testing.T) {
+	probText, _ := serveInstance(t)
+	srv := newTestServer(t)
+
+	solve := func(body string) (status int, xcache string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return 0, ""
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, resp.Header.Get("X-Cache")
+	}
+	reqBody := func(name string) string {
+		return fmt.Sprintf(`{"problem": %q, "topology": "mesh-2x3", "clusterer": %q, "seed": 9}`, probText, name)
+	}
+
+	coalesced := false
+	var name string
+	for attempt := 0; attempt < 20 && !coalesced; attempt++ {
+		name = fmt.Sprintf("xcache-gate-%d", gateSeq.Add(1))
+		gate := &gateClusterer{name: name, entered: make(chan struct{}, 1), release: make(chan struct{})}
+		if err := mimdmap.RegisterClusterer(name, func(*rand.Rand) cluster.Clusterer { return gate }); err != nil {
+			t.Fatal(err)
+		}
+		body := reqBody(name)
+
+		var wg sync.WaitGroup
+		var leaderStatus, followerStatus int
+		var leaderCache, followerCache string
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			leaderStatus, leaderCache = solve(body)
+		}()
+		select {
+		case <-gate.entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("leader never reached the clusterer")
+		}
+		// The leader is parked inside Cluster; the cache has no entry yet,
+		// so an identical request arriving now joins its flight.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			followerStatus, followerCache = solve(body)
+		}()
+		time.Sleep(50 * time.Millisecond)
+		close(gate.release)
+		wg.Wait()
+
+		if leaderStatus != http.StatusOK || followerStatus != http.StatusOK {
+			t.Fatalf("statuses %d/%d, want 200/200", leaderStatus, followerStatus)
+		}
+		if leaderCache != "miss" {
+			t.Fatalf("leader X-Cache %q, want %q", leaderCache, "miss")
+		}
+		switch followerCache {
+		case "coalesced":
+			coalesced = true
+		case "hit":
+			// The follower lost the race and arrived after the leader
+			// published — truthful, but not the case under test. Retry
+			// with a fresh clusterer name (fresh fingerprint).
+		default:
+			t.Fatalf("follower X-Cache %q, want %q or %q", followerCache, "coalesced", "hit")
+		}
+	}
+	if !coalesced {
+		t.Fatal("no attempt observed a coalesced follower")
+	}
+
+	// The flight is long retired; the same request now replays the cache.
+	status, xcache := solve(reqBody(name))
+	if status != http.StatusOK || xcache != "hit" {
+		t.Fatalf("warm request: status %d X-Cache %q, want 200 %q", status, xcache, "hit")
+	}
+}

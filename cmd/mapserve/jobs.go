@@ -99,6 +99,8 @@ type jobStore struct {
 	sem      chan struct{}
 	capacity int
 	ttl      time.Duration
+	// now is the store's clock; injectable so tests can advance it.
+	now func() time.Time
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -111,22 +113,67 @@ type jobStore struct {
 }
 
 // newJobStore returns a store bounded to capacity retained jobs whose
-// finished entries expire after ttl.
-func newJobStore(ctx context.Context, solver *mimdmap.Solver, sem chan struct{}, capacity int, ttl time.Duration) *jobStore {
+// finished entries expire after ttl. A nil clock means time.Now. Besides
+// the lazy pruning on submit and lookup, a background sweeper evicts
+// expired jobs even when no traffic arrives; it stops with ctx.
+func newJobStore(ctx context.Context, solver *mimdmap.Solver, sem chan struct{}, capacity int, ttl time.Duration, clock func() time.Time) *jobStore {
 	if capacity <= 0 {
 		capacity = 256
 	}
 	if ttl <= 0 {
 		ttl = 10 * time.Minute
 	}
-	return &jobStore{
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &jobStore{
 		ctx:      ctx,
 		solver:   solver,
 		sem:      sem,
 		capacity: capacity,
 		ttl:      ttl,
+		now:      clock,
 		jobs:     map[string]*job{},
 	}
+	go s.sweepLoop()
+	return s
+}
+
+// sweepInterval picks how often the background sweeper wakes: a quarter of
+// the TTL, clamped so short test TTLs don't spin and long production TTLs
+// still sweep within a minute of expiry.
+func sweepInterval(ttl time.Duration) time.Duration {
+	iv := ttl / 4
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	if iv > time.Minute {
+		iv = time.Minute
+	}
+	return iv
+}
+
+// sweepLoop prunes expired jobs on a timer until the store's context ends,
+// so an idle server sheds finished jobs within ~ttl/4 of their expiry
+// instead of retaining them until the next request happens to arrive.
+func (s *jobStore) sweepLoop() {
+	ticker := time.NewTicker(sweepInterval(s.ttl))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.sweepOnce()
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// sweepOnce runs one pruning pass against the store's clock.
+func (s *jobStore) sweepOnce() {
+	s.mu.Lock()
+	s.prune(s.now())
+	s.mu.Unlock()
 }
 
 // prune drops expired jobs. Callers hold s.mu.
@@ -206,8 +253,9 @@ func (s *jobStore) submitBatch(reqs []*mimdmap.Request) (string, error) {
 func (s *jobStore) finish(j *job, state, errMsg string) {
 	j.state = state
 	j.errMsg = errMsg
-	j.duration = time.Since(j.began)
-	j.expires = time.Now().Add(s.ttl)
+	now := s.now()
+	j.duration = now.Sub(j.began)
+	j.expires = now.Add(s.ttl)
 	if state == jobFailed {
 		s.failed++
 	} else {
@@ -218,7 +266,7 @@ func (s *jobStore) finish(j *job, state, errMsg string) {
 // submit registers a job and launches its runner, which waits for a solve
 // slot before executing.
 func (s *jobStore) submit(batch int, run func(context.Context, *job)) (string, error) {
-	now := time.Now()
+	now := s.now()
 	s.mu.Lock()
 	s.prune(now)
 	if len(s.order) >= s.capacity && !s.evictOldestFinished() {
@@ -261,7 +309,7 @@ func (s *jobStore) submit(batch int, run func(context.Context, *job)) (string, e
 func (s *jobStore) status(id string) (jobStatusResponse, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.prune(time.Now())
+	s.prune(s.now())
 	j, ok := s.jobs[id]
 	if !ok {
 		return jobStatusResponse{}, false
@@ -284,7 +332,7 @@ func (s *jobStore) status(id string) (jobStatusResponse, bool) {
 func (s *jobStore) counters() jobCounters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.prune(time.Now())
+	s.prune(s.now())
 	active := 0
 	for _, id := range s.order {
 		if st := s.jobs[id].state; st == jobQueued || st == jobRunning {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -187,7 +188,7 @@ func TestJobStoreBoundsAndTTL(t *testing.T) {
 	_, prob := serveInstance(t)
 	solver := mimdmap.NewSolver(0)
 	sem := make(chan struct{}, 2)
-	store := newJobStore(context.Background(), solver, sem, 1, 30*time.Millisecond)
+	store := newJobStore(context.Background(), solver, sem, 1, 30*time.Millisecond, nil)
 
 	req := &mimdmap.Request{Problem: prob, Topology: "mesh-2x3", Clusterer: "blocks", Seed: 3}
 	id1, err := store.submitSingle(req)
@@ -322,7 +323,7 @@ func TestJobStoreShutdown(t *testing.T) {
 	solver := mimdmap.NewSolver(0)
 	sem := make(chan struct{}, 1)
 	sem <- struct{}{} // the only slot is taken forever
-	store := newJobStore(ctx, solver, sem, 4, time.Minute)
+	store := newJobStore(ctx, solver, sem, 4, time.Minute, nil)
 	id, err := store.submitSingle(&mimdmap.Request{Problem: prob, Topology: "ring-6", Clusterer: "blocks"})
 	if err != nil {
 		t.Fatal(err)
@@ -339,4 +340,88 @@ func TestJobStoreShutdown(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("queued job did not fail on shutdown")
+}
+
+// fakeClock is a mutex-guarded manual clock for driving jobStore pruning.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestJobStoreBackgroundSweep pins the background sweeper: a finished job
+// on an otherwise idle store — no status, submit, or counters calls, which
+// all prune lazily — must still be evicted once the fake clock passes its
+// TTL, because the sweep goroutine prunes on its own timer.
+func TestJobStoreBackgroundSweep(t *testing.T) {
+	_, prob := serveInstance(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	solver := mimdmap.NewSolver(0)
+	sem := make(chan struct{}, 1)
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	// ttl 40ms → the real-time sweep ticker fires every 10ms; expiry itself
+	// is judged purely against the fake clock.
+	store := newJobStore(ctx, solver, sem, 4, 40*time.Millisecond, clock.Now)
+
+	id, err := store.submitSingle(&mimdmap.Request{Problem: prob, Topology: "ring-6", Clusterer: "blocks", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := func() int {
+		store.mu.Lock()
+		defer store.mu.Unlock()
+		return len(store.jobs)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if js, ok := store.status(id); ok && js.State == jobDone {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if js, ok := store.status(id); !ok || js.State != jobDone {
+		t.Fatal("job never finished")
+	}
+
+	// Not yet expired on the fake clock: several real sweep ticks must
+	// leave it alone.
+	time.Sleep(50 * time.Millisecond)
+	if got := stored(); got != 1 {
+		t.Fatalf("unexpired job swept: %d stored, want 1", got)
+	}
+
+	clock.Advance(time.Hour)
+	for time.Now().Before(deadline) {
+		if stored() == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := stored(); got != 0 {
+		t.Fatalf("expired job still stored (%d) despite background sweep", got)
+	}
+	store.mu.Lock()
+	evicted := store.evicted
+	store.mu.Unlock()
+	if evicted != 1 {
+		t.Fatalf("evicted counter = %d, want 1", evicted)
+	}
+
+	// The sweeper dies with the context: cancelling and advancing the clock
+	// must not panic or race (covered by -race runs of this package).
+	cancel()
+	clock.Advance(time.Hour)
+	time.Sleep(20 * time.Millisecond)
 }

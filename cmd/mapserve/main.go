@@ -233,7 +233,7 @@ type serverConfig struct {
 // probes. ctx bounds background job execution. Exposed for httptest.
 func newHandler(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) http.Handler {
 	sem := make(chan struct{}, cfg.limit)
-	jobs := newJobStore(ctx, solver, sem, cfg.jobCap, cfg.jobTTL)
+	jobs := newJobStore(ctx, solver, sem, cfg.jobCap, cfg.jobTTL, nil)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -294,9 +294,14 @@ func newHandler(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) h
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Solve-Duration", time.Since(began).String())
-		if resp.Diagnostics.CacheHit {
+		switch {
+		case resp.Diagnostics.CacheHit:
 			w.Header().Set("X-Cache", "hit")
-		} else {
+		case resp.Diagnostics.Coalesced:
+			// Shared another caller's in-flight solve: not replayed from
+			// the cache, not solved by this request either.
+			w.Header().Set("X-Cache", "coalesced")
+		default:
 			w.Header().Set("X-Cache", "miss")
 		}
 		writeJSON(w, http.StatusOK, toWire(resp))

@@ -1,0 +1,274 @@
+package schedule
+
+import "math/bits"
+
+// Incremental "cone" evaluation of candidate swaps.
+//
+// TrySwapBatch's full kernel re-prices the whole schedule per batch even
+// though a swap of clusters (k, l) only perturbs the tasks downstream of
+// the two touched processors: an edge's cost w × dist(proc(j), proc(i))
+// changes only when one endpoint cluster is k or l, and a task's start
+// time changes only when such an edge touches it or a predecessor's end
+// time moved. The delta kernel therefore re-prices only that cone,
+// seeded from the per-cluster affected lists precomputed by the
+// evaluator and propagated through the successor CSR, reusing the
+// committed incumbent's cached end times for everything outside it.
+//
+// The pass is one ascending scan over topological positions from the
+// first seed t0: untouched positions cost a byte load, touched positions
+// recompute their start for exactly the lanes whose cone reached them
+// (the per-position lane bitmask), and a changed end time marks the
+// task's successors. Because the scan is ascending, a touched
+// predecessor has always been recomputed before its consumers read it.
+// The exact new makespan of each lane combines three maxima: the prefix
+// maximum of committed end times before t0 (maintained across commits),
+// the committed ends of untouched positions at or after t0 (folded in
+// during the same scan), and the lane's recomputed cone ends. Totals are
+// therefore exact — bit-identical to the full kernel — so accept/reject
+// decisions and every downstream byte of output are unchanged.
+//
+// Fallback rule: the cone of a swap that touches early, well-connected
+// clusters can approach the whole schedule, at which point the scalar
+// per-lane recomputation loses to the full kernel's 8-lane interleaved
+// pass. The session bails out once the cone's edge visits exceed
+// coneBudget (half of all predecessor edge records by default) and
+// re-prices the batch with the full kernel instead; the partially
+// marked positions are cheaply unmarked first. Commits that apply a
+// swap update the cached end times through the same cone walk.
+
+// defaultConeBudget bounds the predecessor-edge records one delta batch
+// may visit before falling back to the full interleaved kernel: half of
+// the edge stream. Past that point the union of the eight lane cones
+// covers so much of the schedule that the full pass — which touches every
+// edge record exactly once for all eight lanes — is the cheaper evaluator.
+func defaultConeBudget(edges int) int { return edges / 2 }
+
+// seedCone marks, in s.mask, every topological position directly affected
+// by the candidate swaps (bit i set for lane i), and returns the smallest
+// marked position (len(endC) when no lane perturbs anything). Identity
+// lanes (ks == ls) seed nothing: they price the incumbent itself.
+func (s *SwapSession) seedCone(ks, ls *[SwapLanes]int) int {
+	e := s.e
+	mask := s.mask
+	t0 := len(s.endC)
+	for lane := 0; lane < SwapLanes; lane++ {
+		if ks[lane] == ls[lane] {
+			continue
+		}
+		bit := uint8(1) << lane
+		for _, c := range [2]int{ks[lane], ls[lane]} {
+			aff := e.affTasks[e.affOff[c]:e.affOff[c+1]]
+			if len(aff) == 0 {
+				continue
+			}
+			if int(aff[0]) < t0 {
+				t0 = int(aff[0])
+			}
+			for _, t := range aff {
+				mask[t] |= bit
+			}
+		}
+	}
+	return t0
+}
+
+// tryDeltaBatch prices the batch by cone re-evaluation, writing the exact
+// totals and reporting true, or reports false — with every mark cleared —
+// when the cone outgrows the budget and the full kernel should price the
+// batch instead. The lane views must be synced to (ks, ls) first; the
+// committed end-time cache endC and its prefix maxima must mirror the
+// incumbent.
+func (s *SwapSession) tryDeltaBatch(ks, ls *[SwapLanes]int, totals *[SwapLanes]int) bool {
+	e := s.e
+	// Pre-estimate before marking anything: the summed direct (seed-level)
+	// edge records of every lane's cone, from the per-cluster affCost
+	// table. When even this floor — no propagation counted — exceeds the
+	// budget, the batch goes straight to the full kernel with zero delta
+	// overhead instead of seeding, scanning and unwinding first. Batches
+	// of independent random pairs on well-connected instances land here;
+	// localized swaps on sparse communication structures proceed.
+	est := 0
+	for lane := 0; lane < SwapLanes; lane++ {
+		if ks[lane] != ls[lane] {
+			est += int(e.affCost[ks[lane]] + e.affCost[ls[lane]])
+		}
+	}
+	if est > s.coneBudget {
+		return false
+	}
+	n := len(s.endC)
+	mask := s.mask
+	t0 := s.seedCone(ks, ls)
+	if t0 == n {
+		// No communicating edge touches the swapped clusters in any lane:
+		// every lane's schedule is the incumbent's.
+		for lane := range totals {
+			totals[lane] = s.total
+		}
+		return true
+	}
+	base := 0
+	if t0 > 0 {
+		base = s.prefMax[t0-1]
+	}
+	var totalB [SwapLanes]int
+	for lane := range totalB {
+		totalB[lane] = base
+	}
+	unmarked := 0 // max committed end over unmarked positions ≥ t0
+	procT := s.lanes.procT
+	endB, endC := s.endB, s.endC
+	commOff, commEdges := e.commOff, e.commEdges
+	clusOf, size, distT, ns := e.clusOf, e.size, e.distT, e.ns
+	succOff, succs := e.succOff, e.succs
+	visited := s.visited[:0]
+	budget := s.coneBudget
+	for t := t0; t < n; t++ {
+		m := mask[t]
+		if m == 0 {
+			if endC[t] > unmarked {
+				unmarked = endC[t]
+			}
+			continue
+		}
+		ces := commEdges[commOff[t]:commOff[t+1]]
+		budget -= len(ces)
+		if budget < 0 {
+			// Cone too large: unmark everything and let the full kernel
+			// price the batch. Marks live only in [t0, n).
+			for _, vt := range visited {
+				mask[vt] = 0
+			}
+			for u := t; u < n; u++ {
+				mask[u] = 0
+			}
+			s.visited = visited[:0]
+			return false
+		}
+		visited = append(visited, int32(t))
+		oldEnd := endC[t]
+		changed := uint8(0)
+		cRow := int(clusOf[t]) * SwapLanes
+		for rem := m; rem != 0; rem &= rem - 1 {
+			lane := bits.TrailingZeros8(rem)
+			b := procT[cRow+lane] * ns
+			start := 0
+			for i := range ces {
+				ce := &ces[i]
+				pe := endC[ce.pred]
+				if mask[ce.pred]&(1<<lane) != 0 {
+					pe = endB[ce.pred][lane]
+				}
+				if v := pe + int(ce.w)*distT[b+procT[int(ce.clus)*SwapLanes+lane]]; v > start {
+					start = v
+				}
+			}
+			v := start + int(size[t])
+			endB[t][lane] = v
+			if v != oldEnd {
+				changed |= 1 << lane
+			}
+		}
+		eb := &endB[t]
+		for lane := 0; lane < SwapLanes; lane++ {
+			v := oldEnd
+			if m&(1<<lane) != 0 {
+				v = eb[lane]
+			}
+			if v > totalB[lane] {
+				totalB[lane] = v
+			}
+		}
+		if changed != 0 {
+			for _, sc := range succs[succOff[t]:succOff[t+1]] {
+				mask[sc] |= changed
+			}
+		}
+	}
+	for _, vt := range visited {
+		mask[vt] = 0
+	}
+	s.visited = visited[:0]
+	for lane := 0; lane < SwapLanes; lane++ {
+		v := totalB[lane]
+		if unmarked > v {
+			v = unmarked
+		}
+		totals[lane] = v
+	}
+	return true
+}
+
+// applyConeToCommitted re-evaluates, in place, the cone of the just-
+// committed swap (k, l) in the committed end-time cache and refreshes the
+// prefix maxima from the first affected position on. The incumbent
+// (s.lanes.a) already carries the swap. In-place recomputation is sound
+// because the scan is ascending: a predecessor's cached end is either
+// already its new value (recomputed earlier in this walk) or unchanged.
+// Unlike the trial pass this never bails out — the cache must end up
+// mirroring the incumbent — but a cone is walked only once per accepted
+// swap, and acceptances are a small fraction of trials.
+func (s *SwapSession) applyConeToCommitted(k, l int) {
+	e := s.e
+	n := len(s.endC)
+	mask := s.mask
+	t0 := n
+	for _, c := range [2]int{k, l} {
+		aff := e.affTasks[e.affOff[c]:e.affOff[c+1]]
+		if len(aff) == 0 {
+			continue
+		}
+		if int(aff[0]) < t0 {
+			t0 = int(aff[0])
+		}
+		for _, t := range aff {
+			mask[t] = 1
+		}
+	}
+	if t0 == n {
+		return // nothing communicates with k or l; ends are unchanged
+	}
+	procOf := s.lanes.a.ProcOf
+	endC, prefMax := s.endC, s.prefMax
+	commOff, commEdges := e.commOff, e.commEdges
+	clusOf, size, distT, ns := e.clusOf, e.size, e.distT, e.ns
+	succOff, succs := e.succOff, e.succs
+	for t := t0; t < n; t++ {
+		if mask[t] != 0 {
+			mask[t] = 0
+			ces := commEdges[commOff[t]:commOff[t+1]]
+			b := procOf[clusOf[t]] * ns
+			start := 0
+			for i := range ces {
+				ce := &ces[i]
+				if v := endC[ce.pred] + int(ce.w)*distT[b+procOf[ce.clus]]; v > start {
+					start = v
+				}
+			}
+			if v := start + int(size[t]); v != endC[t] {
+				endC[t] = v
+				for _, sc := range succs[succOff[t]:succOff[t+1]] {
+					mask[sc] = 1
+				}
+			}
+		}
+		m := endC[t]
+		if t > 0 && prefMax[t-1] > m {
+			m = prefMax[t-1]
+		}
+		prefMax[t] = m
+	}
+}
+
+// rebuildPrefMax recomputes the committed prefix maxima from position
+// `from` on: prefMax[t] = max(endC[0..t]).
+func (s *SwapSession) rebuildPrefMax(from int) {
+	endC, prefMax := s.endC, s.prefMax
+	for t := from; t < len(endC); t++ {
+		m := endC[t]
+		if t > 0 && prefMax[t-1] > m {
+			m = prefMax[t-1]
+		}
+		prefMax[t] = m
+	}
+}

@@ -81,25 +81,86 @@ func (v *laneViews) commitAssign(procOf []int) {
 // full Evaluator.TotalTime of each swapped assignment — so accept/reject
 // decisions stay bit-identical to trial-at-a-time refinement.
 //
+// Since the delta-evaluation work (delta.go), both TrySwap and
+// TrySwapBatch first consult the session's priced-pair table (a swap's
+// exact total depends only on the pair and the committed incumbent, so
+// totals priced since the last commit replay for free), then attempt
+// incremental cone pricing — re-evaluating only the tasks downstream of
+// the two swapped processors against the committed incumbent's cached end
+// times — and fall back to the full pass only when the cone outgrows the
+// session's budget. Totals are exact on every path.
+//
 // Protocol: TrySwap/TrySwapBatch/TryAssign never change the committed
 // state; Commit promotes the most recent TrySwap, CommitSwap accepts a swap
-// whose exact total the caller already knows (e.g. a TrySwapBatch lane) in
-// O(1), and CommitAssign replaces the incumbent wholesale (full-reshuffle
-// moves, annealing restarts, Bokhari jumps). A session allocates only at
-// construction; every Try/Commit method is allocation-free. Sessions share
-// the Evaluator's read-only precomputation, so concurrent refinement chains
-// may each run their own session against one Evaluator without locks.
+// whose exact total the caller already knows (e.g. a TrySwapBatch lane) by
+// re-walking just that swap's cone, and CommitAssign replaces the incumbent
+// wholesale (full-reshuffle moves, annealing restarts, Bokhari jumps). A
+// session allocates only at construction; every Try/Commit method is
+// allocation-free. Sessions share the Evaluator's read-only precomputation,
+// so concurrent refinement chains may each run their own session against
+// one Evaluator without locks.
 type SwapSession struct {
 	e *Evaluator
 
 	total   int   // committed total time
-	scratch []int // end times of the scalar TrySwap pass
+	scratch []int // end times of the scalar full-evaluation passes
 
 	lanes laneViews        // lane-major views of the batch kernel
 	endB  [][SwapLanes]int // lane-interleaved end times of the batch pass
 
+	// Delta-evaluation state (delta.go): the committed incumbent's end
+	// times by topo position, their running prefix maxima, the per-position
+	// lane bitmask of the current cone, the positions it marked (for cheap
+	// unmarking), and the edge-visit budget past which a batch falls back
+	// to the full kernel.
+	endC       []int
+	prefMax    []int
+	mask       []uint8
+	visited    []int32
+	coneBudget int
+
+	// Priced-pair table, the KL-gain-table analogue for this metric: a
+	// swap's exact total depends only on the pair (k, l) and the committed
+	// incumbent, so totals priced since the last commit are reusable
+	// verbatim. Sweep-style refiners re-price the same pairs many times
+	// between rare accepts; those trials become one table load. memoStamp
+	// entries equal to memoEpoch are valid; commits that change the
+	// incumbent bump the epoch, invalidating the whole table in O(1).
+	// nil (K past maxMemoPairs) disables memoisation.
+	memoTotal []int
+	memoStamp []uint32
+	memoEpoch uint32
+
 	lastK, lastL, lastTotal int
 	pending                 bool
+}
+
+// maxMemoPairs bounds the priced-pair table: K² at most 2^16 pairs (K ≤
+// 256, ~¾ MB per session). Larger instances skip the table rather than
+// pay its memory; the paper-scale workloads sit far below the bound.
+const maxMemoPairs = 1 << 16
+
+// memoIdx maps the unordered pair (k, l) to its table slot.
+func (s *SwapSession) memoIdx(k, l int) int {
+	if k > l {
+		k, l = l, k
+	}
+	return k*s.lanes.a.K() + l
+}
+
+// bumpEpoch invalidates every memoised pair total in O(1). The rare
+// uint32 wraparound clears the stamps so ancient entries cannot alias.
+func (s *SwapSession) bumpEpoch() {
+	if s.memoTotal == nil {
+		return
+	}
+	s.memoEpoch++
+	if s.memoEpoch == 0 {
+		for i := range s.memoStamp {
+			s.memoStamp[i] = 0
+		}
+		s.memoEpoch = 1
+	}
 }
 
 // NewSwapSession evaluates a fully and returns a session committed to it.
@@ -108,12 +169,23 @@ type SwapSession struct {
 func (e *Evaluator) NewSwapSession(a *Assignment) *SwapSession {
 	n := len(e.size)
 	s := &SwapSession{
-		e:       e,
-		scratch: make([]int, n),
-		endB:    make([][SwapLanes]int, n),
-		lanes:   newLaneViews(a),
+		e:          e,
+		scratch:    make([]int, n),
+		endB:       make([][SwapLanes]int, n),
+		lanes:      newLaneViews(a),
+		endC:       make([]int, n),
+		prefMax:    make([]int, n),
+		mask:       make([]uint8, n),
+		visited:    make([]int32, 0, n),
+		coneBudget: defaultConeBudget(len(e.commEdges)),
 	}
-	s.total = e.fillEnds(s.lanes.a.ProcOf, s.scratch)
+	if k := a.K(); k*k <= maxMemoPairs {
+		s.memoTotal = make([]int, k*k)
+		s.memoStamp = make([]uint32, k*k)
+		s.memoEpoch = 1
+	}
+	s.total = e.fillEnds(s.lanes.a.ProcOf, s.endC)
+	s.rebuildPrefMax(0)
 	return s
 }
 
@@ -135,12 +207,34 @@ func (s *SwapSession) Evaluator() *Evaluator { return s.e }
 
 // TrySwap returns the exact total time of the incumbent with clusters k and
 // l exchanged, without committing. Call Commit to accept the trial.
-// TrySwap(k, k) prices the incumbent itself.
+// TrySwap(k, k) prices the incumbent itself. The swap's cone is priced
+// incrementally against the committed end times; a cone past the budget
+// falls back to one full scalar evaluation.
 func (s *SwapSession) TrySwap(k, l int) int {
-	a := s.lanes.a
-	a.Swap(k, l)
-	total := s.e.fillEnds(a.ProcOf, s.scratch)
-	a.Swap(k, l)
+	if s.memoTotal != nil {
+		if i := s.memoIdx(k, l); s.memoStamp[i] == s.memoEpoch {
+			total := s.memoTotal[i]
+			s.lastK, s.lastL, s.lastTotal, s.pending = k, l, total, true
+			return total
+		}
+	}
+	var ks, ls, totals [SwapLanes]int
+	ks[0], ls[0] = k, l // lanes 1..7 stay identity (0, 0): free
+	s.lanes.sync(&ks, &ls)
+	var total int
+	if s.tryDeltaBatch(&ks, &ls, &totals) {
+		total = totals[0]
+	} else {
+		a := s.lanes.a
+		a.Swap(k, l)
+		total = s.e.fillEnds(a.ProcOf, s.scratch)
+		a.Swap(k, l)
+	}
+	if s.memoTotal != nil {
+		i := s.memoIdx(k, l)
+		s.memoStamp[i] = s.memoEpoch
+		s.memoTotal[i] = total
+	}
 	s.lastK, s.lastL, s.lastTotal, s.pending = k, l, total, true
 	return total
 }
@@ -166,30 +260,75 @@ func (s *SwapSession) Commit() {
 
 // CommitSwap accepts the swap of clusters k and l whose exact total time
 // the caller already knows from a TrySwap or TrySwapBatch lane. It applies
-// the swap to the incumbent without re-evaluating anything.
+// the swap to the incumbent and walks the swap's cone once to bring the
+// cached end times (and their prefix maxima) back in line — O(cone), not
+// O(all edges), and allocation-free.
 func (s *SwapSession) CommitSwap(k, l, total int) {
 	s.lanes.commitSwap(k, l)
+	if k != l {
+		s.applyConeToCommitted(k, l)
+		s.bumpEpoch()
+	}
 	s.total = total
 	s.pending = false
 }
 
 // CommitAssign replaces the committed incumbent with procOf (copied), whose
-// exact total time the caller already knows from TryAssign. O(K), no
-// evaluation, no allocation.
+// exact total time the caller already knows from TryAssign. An arbitrary
+// replacement shares no cone with the old incumbent, so the cached end
+// times are refreshed with one full evaluation pass. Allocation-free.
 func (s *SwapSession) CommitAssign(procOf []int, total int) {
 	s.lanes.commitAssign(procOf)
 	s.total = total
 	s.pending = false
+	s.e.fillEnds(s.lanes.a.ProcOf, s.endC)
+	s.rebuildPrefMax(0)
+	s.bumpEpoch()
 }
 
-// TrySwapBatch prices SwapLanes candidate swaps of the incumbent in one
-// interleaved evaluation pass: lane i is the incumbent with clusters ks[i]
-// and ls[i] exchanged, and totals[i] receives its exact total time. Lanes
-// are independent — duplicates are fine, and ks[i] == ls[i] prices the
-// unperturbed incumbent — and nothing is committed.
+// TrySwapBatch prices SwapLanes candidate swaps of the incumbent: lane i
+// is the incumbent with clusters ks[i] and ls[i] exchanged, and totals[i]
+// receives its exact total time. Lanes are independent — duplicates are
+// fine, and ks[i] == ls[i] prices the unperturbed incumbent — and nothing
+// is committed. A batch whose every pair is already priced against the
+// current incumbent replays from the priced-pair table; otherwise it is
+// priced incrementally (one shared scan re-evaluating only each lane's
+// cone against the committed end times), falling back to the full
+// interleaved evaluation pass when the union of cones outgrows the
+// session's budget. Every path yields exact totals.
 func (s *SwapSession) TrySwapBatch(ks, ls *[SwapLanes]int, totals *[SwapLanes]int) {
-	e := s.e
+	if s.memoTotal != nil {
+		hit := true
+		for lane := 0; lane < SwapLanes; lane++ {
+			i := s.memoIdx(ks[lane], ls[lane])
+			if s.memoStamp[i] != s.memoEpoch {
+				hit = false
+				break
+			}
+			totals[lane] = s.memoTotal[i]
+		}
+		if hit {
+			return
+		}
+	}
 	s.lanes.sync(ks, ls)
+	if !s.tryDeltaBatch(ks, ls, totals) {
+		s.fullSwapBatch(totals)
+	}
+	if s.memoTotal != nil {
+		for lane := 0; lane < SwapLanes; lane++ {
+			i := s.memoIdx(ks[lane], ls[lane])
+			s.memoStamp[i] = s.memoEpoch
+			s.memoTotal[i] = totals[lane]
+		}
+	}
+}
+
+// fullSwapBatch is the non-incremental batch kernel: one interleaved
+// topological pass pricing all SwapLanes lanes, each edge record loaded
+// once for all eight. The lane views must be synced first.
+func (s *SwapSession) fullSwapBatch(totals *[SwapLanes]int) {
+	e := s.e
 	procT := s.lanes.procT
 	endB := s.endB
 	var totalB [SwapLanes]int

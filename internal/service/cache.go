@@ -87,3 +87,13 @@ func (c *lruCache[V]) Counters() (hits, misses, evictions uint64) {
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evictions
 }
+
+// Snapshot returns the counters and the entry count under one lock
+// acquisition, so the four values are mutually consistent: separate
+// Counters and Len calls can interleave with a concurrent Put and report,
+// e.g., more cached entries than misses that could have stored them.
+func (c *lruCache[V]) Snapshot() (hits, misses, evictions uint64, length int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.order.Len()
+}

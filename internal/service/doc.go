@@ -28,8 +28,8 @@
 // independent of the worker count, because every request derives its random
 // streams from its own seed and results are collected by index; and a
 // cache hit is byte-identical to the cold solve that populated the entry
-// in everything deterministic (only Elapsed and Diagnostics.CacheHit are
-// per-call). All three are pinned by tests.
+// in everything deterministic (only Elapsed, Diagnostics.CacheHit and
+// Diagnostics.Coalesced are per-call). All three are pinned by tests.
 //
 // Concurrency contract: the caches and the flight group are the only state
 // Solve touches under locks. Everything downstream — the mapper, its

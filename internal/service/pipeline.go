@@ -226,7 +226,7 @@ func (st *solveState) cacheLookup(ctx context.Context) error {
 		}
 		if !call.interrupted {
 			s.coalesced.Add(1)
-			st.resp = call.resp.cachedCopy(st.began)
+			st.resp = call.resp.coalescedCopy(st.began)
 			st.done = true
 			return nil
 		}
@@ -315,13 +315,26 @@ func (st *solveState) publish(ctx context.Context) error {
 	return nil
 }
 
-// cachedCopy returns a per-caller view of a cached or coalesced response:
-// the deep state (result, schedule, graphs) is shared read-only, the
+// cachedCopy returns a per-caller view of a cache-replayed response: the
+// deep state (result, schedule, graphs) is shared read-only, the
 // wall-clock timing is the caller's own, and the cache-hit diagnostic is
 // set. Everything deterministic is byte-identical to the cold response.
 func (r *Response) cachedCopy(began time.Time) *Response {
 	out := *r
 	out.Diagnostics.CacheHit = true
+	out.Diagnostics.Coalesced = false
+	out.Elapsed = time.Since(began)
+	return &out
+}
+
+// coalescedCopy is cachedCopy's sibling for singleflight followers: the
+// shared result did not come from the response cache (the follower joined
+// before the leader published), so CacheHit stays false and Coalesced
+// reports the ride-along truthfully.
+func (r *Response) coalescedCopy(began time.Time) *Response {
+	out := *r
+	out.Diagnostics.CacheHit = false
+	out.Diagnostics.Coalesced = true
 	out.Elapsed = time.Since(began)
 	return &out
 }

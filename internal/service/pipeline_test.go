@@ -16,13 +16,14 @@ import (
 )
 
 // normalizedJSON marshals a response with the per-call fields (Elapsed,
-// CacheHit) zeroed, leaving exactly the deterministic content the cache
-// contract promises to replay byte-identically.
+// CacheHit, Coalesced) zeroed, leaving exactly the deterministic content
+// the cache contract promises to replay byte-identically.
 func normalizedJSON(t *testing.T, resp *Response) []byte {
 	t.Helper()
 	flat := *resp
 	flat.Elapsed = 0
 	flat.Diagnostics.CacheHit = false
+	flat.Diagnostics.Coalesced = false
 	b, err := json.Marshal(&flat)
 	if err != nil {
 		t.Fatalf("response not marshalable: %v", err)
@@ -153,6 +154,30 @@ func TestSingleflightCoalescesConcurrentIdenticalRequests(t *testing.T) {
 	stats := s.Stats()
 	if stats.Coalesced+stats.ResultHits != clients-1 {
 		t.Fatalf("coalesced (%d) + hits (%d) != %d followers", stats.Coalesced, stats.ResultHits, clients-1)
+	}
+	// Diagnostics must classify every caller truthfully: exactly one
+	// leader reporting neither flag, and every follower reporting exactly
+	// one of CacheHit (replayed after the leader published) or Coalesced
+	// (rode the leader's in-flight solve) — matching the counters.
+	var leaders, coalesced, hits int
+	for i, resp := range responses {
+		d := resp.Diagnostics
+		switch {
+		case d.CacheHit && d.Coalesced:
+			t.Fatalf("client %d reports both CacheHit and Coalesced", i)
+		case d.CacheHit:
+			hits++
+		case d.Coalesced:
+			coalesced++
+		default:
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d clients report a cold solve, want exactly 1 leader", leaders)
+	}
+	if uint64(coalesced) != stats.Coalesced || uint64(hits) != stats.ResultHits {
+		t.Fatalf("diagnostics count %d coalesced + %d hits, stats say %d + %d", coalesced, hits, stats.Coalesced, stats.ResultHits)
 	}
 }
 

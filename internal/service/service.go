@@ -96,10 +96,15 @@ type Diagnostics struct {
 	// from the solver's cache rather than a fresh paths.New.
 	DistanceCached bool
 	// CacheHit reports that the response was replayed from the solver's
-	// response cache (or shared from a coalesced in-flight execution)
-	// instead of being solved afresh. Everything deterministic in a hit is
-	// byte-identical to the cold solve that populated the entry.
+	// response cache instead of being solved afresh. Everything
+	// deterministic in a hit is byte-identical to the cold solve that
+	// populated the entry.
 	CacheHit bool
+	// Coalesced reports that the request joined another caller's in-flight
+	// execution of the same fingerprint and shares its result: the work
+	// was not replayed from the cache (CacheHit is false) and not solved
+	// by this request either. At most one of CacheHit and Coalesced is set.
+	Coalesced bool
 }
 
 // Response is the outcome of solving one Request. Responses handed out by
@@ -253,17 +258,18 @@ type Stats struct {
 	Uncacheable uint64 `json:"uncacheable"`
 }
 
-// Stats snapshots the solver's counters.
+// Stats snapshots the solver's counters. Per-cache sections are
+// internally consistent — counters and entry count are read under one
+// lock acquisition via Snapshot, so invariants like CachedResults ≤
+// ResultMisses hold in every snapshot even under concurrent solves.
 func (s *Solver) Stats() Stats {
 	s.init()
 	var st Stats
 	st.Solves = s.solves.Load()
 	st.Coalesced = s.coalesced.Load()
 	st.Uncacheable = s.uncacheable.Load()
-	st.ResultHits, st.ResultMisses, st.ResultEvictions = s.results.Counters()
-	st.CachedResults = s.results.Len()
-	st.DistHits, st.DistMisses, st.DistEvictions = s.dists.Counters()
-	st.CachedDists = s.dists.Len()
+	st.ResultHits, st.ResultMisses, st.ResultEvictions, st.CachedResults = s.results.Snapshot()
+	st.DistHits, st.DistMisses, st.DistEvictions, st.CachedDists = s.dists.Snapshot()
 	st.CachedSystems = s.systems.Len()
 	return st
 }

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStatsConsistentUnderConcurrentSolves hammers Stats() while solves
+// run: every snapshot must be internally consistent — per-cache counters
+// and entry counts are taken under one lock, so invariants like "cached
+// entries never exceed the misses that could have stored them, net of
+// evictions" hold mid-flight, and counters only ever grow between
+// snapshots. Separate Counters()+Len() reads could interleave with a
+// concurrent Put and break both. Run under -race this also proves the
+// snapshot path is data-race free.
+func TestStatsConsistentUnderConcurrentSolves(t *testing.T) {
+	p := testProblem(t)
+	// Tiny bounds so the workload overflows both caches and exercises
+	// evictions, the hardest case for snapshot consistency.
+	s := &Solver{MaxCachedResults: 4, MaxCachedMachines: 2}
+	topos := []string{"mesh-2x3", "ring-6", "hypercube-3"}
+
+	var stop atomic.Bool
+	var readerWG sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			var prev Stats
+			for !stop.Load() {
+				st := s.Stats()
+				if st.CachedResults > 4 {
+					t.Errorf("CachedResults %d exceeds the bound 4", st.CachedResults)
+				}
+				if uint64(st.CachedResults)+st.ResultEvictions > st.ResultMisses {
+					t.Errorf("torn result snapshot: %d cached + %d evicted > %d misses",
+						st.CachedResults, st.ResultEvictions, st.ResultMisses)
+				}
+				if uint64(st.CachedDists)+st.DistEvictions > st.DistMisses {
+					t.Errorf("torn dist snapshot: %d cached + %d evicted > %d misses",
+						st.CachedDists, st.DistEvictions, st.DistMisses)
+				}
+				if st.Solves < prev.Solves || st.ResultHits < prev.ResultHits ||
+					st.ResultMisses < prev.ResultMisses || st.ResultEvictions < prev.ResultEvictions ||
+					st.DistHits < prev.DistHits || st.DistMisses < prev.DistMisses ||
+					st.Coalesced < prev.Coalesced || st.Uncacheable < prev.Uncacheable {
+					t.Errorf("counters went backwards: %+v then %+v", prev, st)
+				}
+				prev = st
+			}
+		}()
+	}
+
+	var solveWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		solveWG.Add(1)
+		go func(w int) {
+			defer solveWG.Done()
+			for i := 0; i < 40; i++ {
+				req := &Request{
+					Problem:   p,
+					Topology:  topos[(w+i)%len(topos)],
+					Clusterer: "blocks",
+					Seed:      int64(1 + i%10),
+				}
+				if _, err := s.Solve(context.Background(), req); err != nil {
+					t.Errorf("worker %d solve %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	solveWG.Wait()
+	stop.Store(true)
+	readerWG.Wait()
+
+	st := s.Stats()
+	if st.Solves != 160 {
+		t.Fatalf("Solves = %d, want 160", st.Solves)
+	}
+	if st.ResultEvictions == 0 {
+		t.Fatal("workload never overflowed the 4-entry response cache; the eviction path went unexercised")
+	}
+}
