@@ -1,0 +1,116 @@
+// Command mapcheck is the repo's static invariant gate: a multichecker
+// running the internal/lint analyzer suite — directive hygiene, the
+// determinism contract, the zero-alloc contract, and registry/wire
+// consistency — over a package pattern. `make lint` runs it over ./...;
+// `make ci` runs `make lint`.
+//
+// Usage:
+//
+//	mapcheck [-analyzers determinism,noalloc] [packages...]
+//
+// With no packages, ./... is checked. The exit status is 1 when any
+// analyzer reports a finding, 2 when the analysis itself could not run.
+// Findings print as file:line:col: [analyzer] message, sorted by position.
+//
+// Code opts in with directive comments (see internal/lint):
+//
+//	//mapcheck:deterministic   check this package (package doc) or
+//	                           function (func doc) for nondeterminism
+//	//mapcheck:noalloc         gate this function on escape analysis
+//	//mapcheck:allow <reason>  waive findings on this line and the next
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mimdmap/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the multichecker; exposed for the self-test.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mapcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
+	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: mapcheck [-analyzers a,b] [-list] [packages...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(stderr, "mapcheck: unknown analyzer %q\n", name)
+			return 2
+		}
+		analyzers = filtered
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := check(analyzers, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "mapcheck:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stdout, "mapcheck: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// check loads the program once and runs every analyzer over it.
+func check(analyzers []*lint.Analyzer, patterns []string) ([]lint.Diagnostic, error) {
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lint.Load(root, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []lint.Diagnostic
+	for _, a := range analyzers {
+		found, err := a.Run(prog)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		diags = append(diags, found...)
+	}
+	lint.SortDiagnostics(diags)
+	return diags, nil
+}

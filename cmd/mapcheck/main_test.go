@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuiteCleanOverRepo is the gate `make lint` enforces, as a test: the
+// full analyzer suite must run clean over every package of the module.
+func TestSuiteCleanOverRepo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("mapcheck ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}
+
+// TestAnalyzerFilter pins the -analyzers flag: a valid subset runs, an
+// unknown name is a usage error (exit 2), and -list names the suite.
+func TestAnalyzerFilter(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-analyzers", "registry", "./internal/lint/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("subset run exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-analyzers", "nosuch", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"directive", "determinism", "noalloc", "registry"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}

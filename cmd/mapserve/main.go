@@ -206,10 +206,23 @@ const maxBody = 32 << 20
 
 // strategiesResponse is the wire form of GET /strategies: every registered
 // strategy name, straight from the shared registries, so clients discover
-// exactly the names /solve accepts.
+// exactly the names /solve accepts. The docs maps carry the registries'
+// one-line descriptions (encoding/json sorts map keys, so the body stays
+// byte-identical across calls).
 type strategiesResponse struct {
-	Clusterers []string `json:"clusterers"`
-	Refiners   []string `json:"refiners"`
+	Clusterers    []string          `json:"clusterers"`
+	Refiners      []string          `json:"refiners"`
+	ClustererDocs map[string]string `json:"clusterer_docs"`
+	RefinerDocs   map[string]string `json:"refiner_docs"`
+}
+
+// strategyDocs collects the registry's description for each name.
+func strategyDocs(names []string, doc func(string) string) map[string]string {
+	docs := make(map[string]string, len(names))
+	for _, name := range names {
+		docs[name] = doc(name)
+	}
+	return docs
 }
 
 // statsResponse is the wire form of GET /stats: the solver's cache and
@@ -246,8 +259,10 @@ func newHandler(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) h
 		}
 		w.Header().Set("Content-Type", "application/json")
 		writeJSON(w, http.StatusOK, strategiesResponse{
-			Clusterers: mimdmap.ClustererNames(),
-			Refiners:   mimdmap.RefinerNames(),
+			Clusterers:    mimdmap.ClustererNames(),
+			Refiners:      mimdmap.RefinerNames(),
+			ClustererDocs: strategyDocs(mimdmap.ClustererNames(), mimdmap.ClustererDoc),
+			RefinerDocs:   strategyDocs(mimdmap.RefinerNames(), mimdmap.RefinerDoc),
 		})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {

@@ -40,6 +40,18 @@ func TestStrategiesEndpoint(t *testing.T) {
 	if !reflect.DeepEqual(got.Refiners, mimdmap.RefinerNames()) {
 		t.Fatalf("refiners %v, want %v", got.Refiners, mimdmap.RefinerNames())
 	}
+	// Every built-in ships a one-line description; strategies registered at
+	// runtime by other tests may legitimately carry none.
+	for _, name := range []string{"random", "round-robin", "blocks", "load-balance", "edge-zeroing", "dominant-sequence"} {
+		if got.ClustererDocs[name] == "" {
+			t.Fatalf("built-in clusterer %q has no doc in /strategies", name)
+		}
+	}
+	for _, name := range []string{"paper", "full-reshuffle", "pairwise", "anneal", "bokhari"} {
+		if got.RefinerDocs[name] == "" {
+			t.Fatalf("built-in refiner %q has no doc in /strategies", name)
+		}
+	}
 
 	post, err := http.Post(srv.URL+"/strategies", "application/json", strings.NewReader("{}"))
 	if err != nil {

@@ -25,4 +25,6 @@
 // schedule.RandPermInto, which consumes their generator exactly as
 // rand.Perm would; the AllocsPerRun regression tests pin that the trial
 // loops stay allocation-free in steady state.
+//
+//mapcheck:deterministic
 package baseline

@@ -28,4 +28,6 @@
 // shared initial assignment; each chain draws from its own derived
 // generator and runs its session on its own evaluator fork, so chains
 // share no mutable state and need no locks.
+//
+//mapcheck:deterministic
 package core

@@ -11,4 +11,6 @@
 // shared internal/parallel pool, and because randomness is derived rather
 // than shared, output is byte-identical at any worker count — the property
 // the determinism test suite pins.
+//
+//mapcheck:deterministic
 package experiment

@@ -9,6 +9,8 @@
 // All weights are non-negative integers measured in abstract time units, as
 // in the paper: node weights are task execution times, edge weights are
 // communication times across a single system edge.
+//
+//mapcheck:deterministic
 package graph
 
 import (

@@ -1,0 +1,427 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism enforces the repo's reproducibility contract in functions
+// (or whole packages) marked //mapcheck:deterministic: byte-identical
+// output for identical inputs at any worker count, the invariant pinned
+// dynamically by the determinism tests and required by every cache layer.
+//
+// Flagged in deterministic scope:
+//
+//   - calls to time.Now / time.Since / time.Until — wall-clock reads;
+//     inject a clock (as the solver and the job store do) or measure in
+//     the wire layer;
+//   - the global math/rand top-level functions (rand.Intn, rand.Shuffle,
+//     …) — process-global state shared across goroutines; draw from an
+//     injected *rand.Rand seeded from the request;
+//   - rand.New(rand.NewSource(x)) where the seed expression contains a
+//     call other than parallel.DeriveSeed — a seed must be derived from
+//     injected configuration (a constant, a parameter, a seed-stream
+//     derivation), never sampled from the environment;
+//   - range over a map whose loop body lets the iteration order escape:
+//     appends to an outer slice that is never sorted afterwards (the
+//     sort-before-use idiom of the registries is recognized and not
+//     flagged), statement-position calls (reporters, writers), channel
+//     sends, order-dependent `+=` accumulation into float or string
+//     outer variables, writes of the map key into outer variables, and
+//     slice stores at loop-carried indexes.
+//
+// The analyzer is deliberately shallow on purity: calls inside expressions
+// that feed commutative integer accumulation are fine, and map/bool/int
+// writes keyed by the range key are order-independent and not flagged.
+// Waive intentional wall-clock or ordering reads with
+// //mapcheck:allow <reason>.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag wall-clock reads, global math/rand use, environment-seeded " +
+		"generators, and map-iteration-order leaks in code marked " +
+		"//mapcheck:deterministic",
+	Run: runDeterminism,
+}
+
+// globalRandFuncs are the math/rand top-level functions backed by the
+// package's global, shared source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// sortFuncs recognizes the sort-before-use fix: pkg path → function names
+// that impose a deterministic order on a collected slice.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true, "Slice": true,
+		"SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// seedDerivers are calls allowed inside a rand seed expression: they turn
+// injected configuration into stream seeds deterministically.
+var seedDerivers = map[string]bool{"DeriveSeed": true, "NewSource": true}
+
+func runDeterminism(prog *Program) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		d := pkg.Directives
+		for _, fm := range d.Funcs {
+			if fm.Waived || fm.Decl.Body == nil {
+				continue
+			}
+			if !d.PkgDeterministic && !fm.Deterministic {
+				continue
+			}
+			c := &detChecker{prog: prog, pkg: pkg}
+			c.checkFunc(fm.Decl)
+			diags = append(diags, c.diags...)
+		}
+	}
+	return diags, nil
+}
+
+// detChecker walks one deterministic function.
+type detChecker struct {
+	prog  *Program
+	pkg   *Package
+	diags []Diagnostic
+	// sortedAt records, per slice object, the positions of sort calls in
+	// the enclosing function — consulted by the map-range check.
+	sortedAt map[types.Object][]token.Pos
+}
+
+func (c *detChecker) report(pos token.Pos, format string, args ...any) {
+	if c.pkg.Directives.Allowed(c.prog.Fset, pos) {
+		return
+	}
+	c.diags = append(c.diags, Diagnostic{
+		Pos:      c.prog.Fset.Position(pos),
+		Analyzer: "determinism",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *detChecker) checkFunc(fn *ast.FuncDecl) {
+	c.sortedAt = map[types.Object][]token.Pos{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := calleeFunc(c.pkg.Info, call); obj != nil && obj.Pkg() != nil {
+			if names, ok := sortFuncs[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				for _, arg := range call.Args {
+					for _, target := range identObjects(c.pkg.Info, arg) {
+						c.sortedAt[target] = append(c.sortedAt[target], call.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.RangeStmt:
+			if isMapType(c.pkg.Info.TypeOf(n.X)) {
+				c.checkMapRange(n)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags wall-clock reads, global-source randomness, and
+// environment-seeded generators.
+func (c *detChecker) checkCall(call *ast.CallExpr) {
+	obj := calleeFunc(c.pkg.Info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	path, name := obj.Pkg().Path(), obj.Name()
+	switch {
+	case path == "time" && (name == "Now" || name == "Since" || name == "Until"):
+		c.report(call.Pos(), "call to time.%s in deterministic code — inject a clock, measure in the wire layer, or waive with //mapcheck:allow <reason>", name)
+	case path == "math/rand" && globalRandFuncs[name]:
+		c.report(call.Pos(), "call to the global math/rand.%s — draw from an injected, request-seeded *rand.Rand instead", name)
+	case path == "math/rand" && name == "New":
+		c.checkRandNew(call)
+	}
+}
+
+// checkRandNew vets the source handed to rand.New: an injected source
+// value or a seed derived from configuration is fine; a seed computed by
+// an arbitrary call (time, pids, crypto) is not reproducible.
+func (c *detChecker) checkRandNew(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return // an injected source value (identifier, field, parameter)
+	}
+	srcObj := calleeFunc(c.pkg.Info, src)
+	if srcObj == nil || srcObj.Pkg() == nil ||
+		srcObj.Pkg().Path() != "math/rand" || srcObj.Name() != "NewSource" {
+		c.report(call.Pos(), "rand.New with a non-injected source %s — pass rand.NewSource(seed) with a seed from configuration", exprString(src))
+		return
+	}
+	ast.Inspect(src.Args[0], func(n ast.Node) bool {
+		inner, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeFunc(c.pkg.Info, inner)
+		if obj != nil && seedDerivers[obj.Name()] {
+			return true
+		}
+		c.report(call.Pos(), "rand.New seeded from a call (%s) — derive the seed from injected configuration (a constant, parameter, or parallel.DeriveSeed stream)", exprString(inner))
+		return false
+	})
+}
+
+// checkMapRange flags loop bodies that let the map's iteration order reach
+// an output: the order-nondeterminism the registries avoid by collecting
+// keys and sorting before use.
+func (c *detChecker) checkMapRange(rs *ast.RangeStmt) {
+	info := c.pkg.Info
+	keyObj := declaredObj(info, rs.Key)
+
+	type appendRec struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var appends []appendRec
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if obj, pos, ok := appendToOuter(info, n, rs); ok {
+				appends = append(appends, appendRec{obj, pos})
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				c.checkWrite(rs, n, lhs, keyObj)
+			}
+		case *ast.SendStmt:
+			c.report(n.Pos(), "channel send inside range over a map — iteration order reaches the receiver; iterate sorted keys instead")
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && !isBuiltinCall(info, call) {
+				c.report(call.Pos(), "call %s inside range over a map — iteration order reaches an observer; collect and sort the keys first", exprString(call.Fun))
+			}
+		}
+		return true
+	})
+
+	for _, a := range appends {
+		if !c.sortedAfter(a.obj, rs.End()) {
+			c.report(a.pos, "append to %s inside range over a map without sorting it afterwards — iteration order escapes; sort before use (as internal/search RefinerNames does)", a.obj.Name())
+		}
+	}
+}
+
+// checkWrite flags order-dependent stores from a map-range body into
+// variables that outlive the loop.
+func (c *detChecker) checkWrite(rs *ast.RangeStmt, assign *ast.AssignStmt, lhs ast.Expr, keyObj types.Object) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := c.pkg.Info.ObjectOf(l)
+		if obj == nil || !outsideRange(obj, rs) {
+			return
+		}
+		switch assign.Tok {
+		case token.ADD_ASSIGN:
+			t := obj.Type()
+			if isFloat(t) {
+				c.report(assign.Pos(), "float accumulation into %s inside range over a map — summation order changes the result; iterate sorted keys", obj.Name())
+			} else if isString(t) {
+				c.report(assign.Pos(), "string concatenation into %s inside range over a map — iteration order escapes; collect, sort, then join", obj.Name())
+			}
+		case token.ASSIGN:
+			if keyObj != nil && mentionsObject(c.pkg.Info, assign.Rhs, keyObj) {
+				c.report(assign.Pos(), "assigning the map key to outer variable %s — loop order picks the winner; collect the keys and sort", obj.Name())
+			}
+		}
+	case *ast.IndexExpr:
+		base := c.pkg.Info.TypeOf(l.X)
+		if base == nil || isMapType(base) {
+			return // map stores keyed independently of order are fine
+		}
+		if keyObj != nil {
+			if id, ok := ast.Unparen(l.Index).(*ast.Ident); ok && c.pkg.Info.ObjectOf(id) == keyObj {
+				return // s[k] = v: keyed by the map key, order-independent
+			}
+		}
+		if baseObj := rootObject(c.pkg.Info, l.X); baseObj != nil && outsideRange(baseObj, rs) {
+			c.report(assign.Pos(), "slice store at a loop-carried index inside range over a map — element order follows iteration order; iterate sorted keys")
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a recognized sort call
+// positioned after the loop.
+func (c *detChecker) sortedAfter(obj types.Object, loopEnd token.Pos) bool {
+	for _, pos := range c.sortedAt[obj] {
+		if pos > loopEnd {
+			return true
+		}
+	}
+	return false
+}
+
+// --- small syntax/type helpers ---
+
+// calleeFunc resolves a call's static callee, or nil for builtins,
+// function-typed variables, and method values it cannot name.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isBuiltinCall reports calls to language builtins (append, delete, …).
+func isBuiltinCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// appendToOuter matches the collect idiom `s = append(s, …)` targeting a
+// variable declared outside the range statement.
+func appendToOuter(info *types.Info, n *ast.AssignStmt, rs *ast.RangeStmt) (types.Object, token.Pos, bool) {
+	if n.Tok != token.ASSIGN || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return nil, token.NoPos, false
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isBuiltinCall(info, call) {
+		return nil, token.NoPos, false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return nil, token.NoPos, false
+	}
+	lhs, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return nil, token.NoPos, false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	obj := info.ObjectOf(lhs)
+	if obj == nil || info.ObjectOf(first) != obj || !outsideRange(obj, rs) {
+		return nil, token.NoPos, false
+	}
+	return obj, n.Pos(), true
+}
+
+// outsideRange reports whether obj is declared outside the range statement
+// (and therefore outlives the loop body).
+func outsideRange(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// declaredObj resolves the object a range clause declares (or assigns).
+func declaredObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// mentionsObject reports whether any expression references obj.
+func mentionsObject(info *types.Info, exprs []ast.Expr, obj types.Object) bool {
+	found := false
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// identObjects collects the objects of every identifier in an expression.
+func identObjects(info *types.Info, e ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject resolves the base identifier of a possibly nested index or
+// selector expression.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// exprString renders a short source form of an expression for messages.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(…)"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,18 @@
+package lint
+
+import "testing"
+
+// TestDeterminismFlagsNondeterminism drives the analyzer over a fixture
+// where every wall-clock read, global-rand draw, environment seed, and
+// map-order leak must be caught.
+func TestDeterminismFlagsNondeterminism(t *testing.T) {
+	runFixture(t, Determinism, "./internal/lint/testdata/det_bad")
+}
+
+// TestDeterminismAcceptsIdioms pins the analyzer's false-positive budget
+// at zero over the repo's sanctioned idioms — collect-then-sort map
+// ranges, injected generators and sources, map-keyed writes, commutative
+// integer accumulation, and an //mapcheck:allow waiver.
+func TestDeterminismAcceptsIdioms(t *testing.T) {
+	runFixture(t, Determinism, "./internal/lint/testdata/det_good")
+}

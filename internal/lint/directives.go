@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The directive vocabulary. Directives are comment lines in the Go
+// toolchain's directive form — no space after the slashes — so gofmt
+// preserves them and godoc hides them.
+const (
+	directivePrefix      = "//mapcheck:"
+	directiveDet         = "deterministic"
+	directiveNoAlloc     = "noalloc"
+	directiveAllow       = "allow"
+	directiveAllowedFunc = "allow" // doc-level allow waives the whole func
+)
+
+// FuncMark is one function declaration and the directives attached to it.
+type FuncMark struct {
+	// Decl is the function.
+	Decl *ast.FuncDecl
+	// File is the syntax file holding it.
+	File *ast.File
+	// Deterministic marks the function for the determinism analyzer.
+	Deterministic bool
+	// NoAlloc marks the function for the escape-analysis gate.
+	NoAlloc bool
+	// Waived reports a doc-level //mapcheck:allow: every analyzer skips
+	// the whole function.
+	Waived bool
+}
+
+// Directives is the scanned mark/waiver state of one package.
+type Directives struct {
+	// PkgDeterministic reports a //mapcheck:deterministic in any file's
+	// package doc: the determinism analyzer checks every function.
+	PkgDeterministic bool
+	// Funcs lists every function declaration with its marks.
+	Funcs []*FuncMark
+
+	// allowLines maps filename → line → waiver reason. An allow waives
+	// findings on its own line and the line below, so it works both as a
+	// trailing comment and as a standalone line above the finding.
+	allowLines map[string]map[int]string
+
+	// BadAllows are //mapcheck:allow directives with no reason text.
+	BadAllows []token.Position
+	// BadPkgNoAlloc are //mapcheck:noalloc directives in package docs,
+	// where they have no meaning (noalloc is function-granular).
+	BadPkgNoAlloc []token.Position
+	// Unknown are //mapcheck: directives with an unrecognized verb.
+	Unknown []token.Position
+}
+
+// scanDirectives collects the mapcheck directives of one package.
+func scanDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{allowLines: map[string]map[int]string{}}
+	for _, f := range files {
+		if groupHas(f.Doc, directiveDet) {
+			d.PkgDeterministic = true
+		}
+		if groupHas(f.Doc, directiveNoAlloc) {
+			d.BadPkgNoAlloc = append(d.BadPkgNoAlloc, fset.Position(f.Doc.Pos()))
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.scanComment(fset, c)
+			}
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			d.Funcs = append(d.Funcs, &FuncMark{
+				Decl:          fn,
+				File:          f,
+				Deterministic: groupHas(fn.Doc, directiveDet),
+				NoAlloc:       groupHas(fn.Doc, directiveNoAlloc),
+				Waived:        groupHas(fn.Doc, directiveAllowedFunc),
+			})
+		}
+	}
+	return d
+}
+
+// scanComment records allow waivers and vets directive spelling.
+func (d *Directives) scanComment(fset *token.FileSet, c *ast.Comment) {
+	verb, rest, ok := directive(c.Text)
+	if !ok {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	switch verb {
+	case directiveDet, directiveNoAlloc:
+		// Attachment (package vs function doc) is resolved by the callers.
+	case directiveAllow:
+		if rest == "" {
+			d.BadAllows = append(d.BadAllows, pos)
+			return
+		}
+		lines := d.allowLines[pos.Filename]
+		if lines == nil {
+			lines = map[int]string{}
+			d.allowLines[pos.Filename] = lines
+		}
+		lines[pos.Line] = rest
+		lines[pos.Line+1] = rest
+	default:
+		d.Unknown = append(d.Unknown, pos)
+	}
+}
+
+// Allowed reports whether a finding at pos is waived by an allow directive
+// on the same line or the line above.
+func (d *Directives) Allowed(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	_, ok := d.allowLines[p.Filename][p.Line]
+	return ok
+}
+
+// directive splits one comment into its mapcheck verb and trailing reason.
+func directive(text string) (verb, rest string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	body := strings.TrimPrefix(text, directivePrefix)
+	verb, rest, _ = strings.Cut(body, " ")
+	return strings.TrimSpace(verb), strings.TrimSpace(rest), true
+}
+
+// groupHas reports whether a doc comment group carries the given directive.
+func groupHas(g *ast.CommentGroup, verb string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if v, _, ok := directive(c.Text); ok && v == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveCheck is the suite's self-check: it validates the mapcheck
+// directives themselves, so a misspelled or reasonless waiver fails lint
+// instead of silently waiving nothing (or everything).
+var DirectiveCheck = &Analyzer{
+	Name: "directive",
+	Doc: "vet the mapcheck directives themselves: every //mapcheck:allow " +
+		"must carry a reason, //mapcheck:noalloc is function-granular (a " +
+		"package-doc noalloc is an error), and unknown //mapcheck: verbs " +
+		"are rejected",
+	Run: runDirectives,
+}
+
+func runDirectives(prog *Program) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		d := pkg.Directives
+		for _, pos := range d.BadAllows {
+			diags = append(diags, Diagnostic{Pos: pos, Analyzer: "directive",
+				Message: "//mapcheck:allow needs a reason: //mapcheck:allow <why this is safe>"})
+		}
+		for _, pos := range d.BadPkgNoAlloc {
+			diags = append(diags, Diagnostic{Pos: pos, Analyzer: "directive",
+				Message: "//mapcheck:noalloc applies to functions, not packages — mark the hot functions individually"})
+		}
+		for _, pos := range d.Unknown {
+			diags = append(diags, Diagnostic{Pos: pos, Analyzer: "directive",
+				Message: "unknown mapcheck directive (known: deterministic, noalloc, allow)"})
+		}
+	}
+	return diags, nil
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDirectiveSelfCheck asserts the directive vet rejects the three
+// malformed-directive shapes: a package-granular noalloc, a reasonless
+// allow, and an unknown verb. Expectations are programmatic because a
+// trailing `// want` comment would merge into the directive's own text.
+func TestDirectiveSelfCheck(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root, "./internal/lint/testdata/dir_bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := DirectiveCheck.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d findings, want 3: %v", len(diags), diags)
+	}
+	for _, want := range []string{
+		"needs a reason",
+		"applies to functions, not packages",
+		"unknown mapcheck directive",
+	} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding matching %q in %v", want, diags)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package lint is the repo's static invariant suite: a small, stdlib-only
+// analysis framework in the shape of golang.org/x/tools/go/analysis (which
+// this module deliberately does not depend on), plus the analyzers that
+// machine-check the two load-bearing contracts of ARCHITECTURE.md — the
+// determinism contract (byte-identical output at any worker count) and the
+// zero-alloc contract on the refinement hot path — and the registry wiring
+// that keeps CLIs, the server, and the strategy registries in agreement.
+//
+// Code opts into checking with directive comments:
+//
+//	//mapcheck:deterministic   package doc or func doc: the determinism
+//	                           analyzer checks every function in the
+//	                           package (or just the marked function)
+//	//mapcheck:noalloc         func doc: the compiler's escape analysis
+//	                           must attribute no heap escape to the body
+//	//mapcheck:allow <reason>  waive findings on this line and the next
+//	                           (or, in a func doc, the whole function);
+//	                           the reason is mandatory
+//
+// The cmd/mapcheck multichecker runs every analyzer over a package pattern
+// and exits non-zero on findings; `make lint` wires it into `make ci`.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding, resolved to a concrete file position
+// so findings from the AST analyzers and the compiler-diagnostic driven
+// ones (noalloc) compare and sort uniformly.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the analyzer that produced it.
+	Analyzer string
+	// Message describes the violated invariant and the idiomatic fix.
+	Message string
+}
+
+// String renders the conventional file:line:col: [analyzer] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// An Analyzer checks one invariant over a loaded Program. Run returns its
+// findings; an error means the analysis itself could not run (load or
+// toolchain failure), which is distinct from "found violations".
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -analyzers filters.
+	Name string
+	// Doc is the one-paragraph description printed by mapcheck -help.
+	Doc string
+	// Run performs the analysis.
+	Run func(*Program) ([]Diagnostic, error)
+}
+
+// Analyzers is the full suite, in the order mapcheck runs them.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DirectiveCheck, Determinism, NoAlloc, Registry}
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer — the
+// stable presentation order of the multichecker (itself a deterministic
+// output path: never ordered by map iteration).
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// ModuleRoot walks up from dir to the directory holding go.mod — the
+// working directory every `go list` / `go build` the suite spawns runs in.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}

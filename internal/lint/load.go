@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked package under analysis: its syntax with
+// comments, its types, and the mapcheck directives scanned from it.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the package's absolute source directory.
+	Dir string
+	// GoFiles are the absolute non-test source paths, in go list order.
+	GoFiles []string
+	// Files is the parsed syntax, parallel to GoFiles.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the expression/object resolution the analyzers query.
+	Info *types.Info
+	// Directives are the package's mapcheck marks and waivers.
+	Directives *Directives
+}
+
+// Program is the unit an Analyzer runs over: every package matched by the
+// load patterns, type-checked against export data of their dependencies.
+type Program struct {
+	// ModuleDir is the module root every spawned go command runs in.
+	ModuleDir string
+	// Fset positions all parsed syntax.
+	Fset *token.FileSet
+	// Packages are the analysis targets, in go list order.
+	Packages []*Package
+}
+
+// listPackage is the subset of `go list -json` fields the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in moduleDir and type-checks every matched package
+// from source. Dependencies — standard library and intra-module alike —
+// are imported from the compiler's export data, which `go list -export`
+// produces (or replays) from the build cache, so loading needs no network
+// and no pre-installed archives.
+func Load(moduleDir string, patterns ...string) (*Program, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var out, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+
+	prog := &Program{ModuleDir: moduleDir, Fset: token.NewFileSet()}
+	imp := importer.ForCompiler(prog.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+	for _, t := range targets {
+		pkg, err := typeCheck(prog.Fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// typeCheck parses and checks one listed package from source.
+func typeCheck(fset *token.FileSet, imp types.Importer, t listPackage) (*Package, error) {
+	pkg := &Package{Path: t.ImportPath, Dir: t.Dir}
+	for _, name := range t.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(t.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		pkg.GoFiles = append(pkg.GoFiles, path)
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.Directives = scanDirectives(fset, pkg.Files)
+	return pkg, nil
+}

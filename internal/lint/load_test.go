@@ -1,0 +1,45 @@
+package lint
+
+import "testing"
+
+// TestLoadResolvesRepoPackages pins the offline loader: every package of
+// the module type-checks from source against build-cache export data, and
+// the directive scanner sees the package marks the analyzers rely on.
+func TestLoadResolvesRepoPackages(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*Package{}
+	for _, pkg := range prog.Packages {
+		byPath[pkg.Path] = pkg
+	}
+	for _, path := range []string{
+		"mimdmap/internal/core",
+		"mimdmap/internal/schedule",
+		"mimdmap/internal/search",
+		"mimdmap/internal/service",
+	} {
+		pkg := byPath[path]
+		if pkg == nil {
+			t.Fatalf("package %s not loaded", path)
+		}
+		if !pkg.Directives.PkgDeterministic {
+			t.Errorf("%s: package-level //mapcheck:deterministic not scanned", path)
+		}
+	}
+	sched := byPath["mimdmap/internal/schedule"]
+	marked := 0
+	for _, fm := range sched.Directives.Funcs {
+		if fm.NoAlloc {
+			marked++
+		}
+	}
+	if marked < 10 {
+		t.Errorf("schedule: %d //mapcheck:noalloc functions scanned, want the session kernels (>= 10)", marked)
+	}
+}

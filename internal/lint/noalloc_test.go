@@ -1,0 +1,10 @@
+package lint
+
+import "testing"
+
+// TestNoAllocGate drives the escape-analysis gate over a fixture holding
+// one violating function (flagged), one clean kernel (silent), and one
+// waived deliberate allocation (silent).
+func TestNoAllocGate(t *testing.T) {
+	runFixture(t, NoAlloc, "./internal/lint/testdata/noallocfix")
+}

@@ -1,0 +1,358 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Registry cross-checks the strategy registries against every surface that
+// exposes them, so adding a clusterer or refiner cannot silently miss a
+// CLI, the server, or the docs:
+//
+//   - docs coverage: a package that defines a `<kind>Docs` map literal and
+//     a `MustRegister<Kind>`/`Register<Kind>` function must register
+//     exactly the documented names — every init-time string-literal
+//     registration needs a docs entry, and every docs entry needs a
+//     registration (extensions registered at runtime from other packages
+//     are out of static reach and out of scope);
+//   - flag wiring: a CLI flag named "clusterer", "cluster" or "refiner"
+//     must derive its help text from the registry (a call to
+//     ClustererUsage/ClustererNames/RefinerUsage/RefinerNames) instead of
+//     hardcoding a name list that rots;
+//   - strategies endpoint: a server defining a strategiesResponse wire
+//     struct must populate its Clusterers/Refiners fields from
+//     ClustererNames/RefinerNames calls;
+//   - wire-tag hygiene: in any struct with JSON field tags, every
+//     exported non-embedded field must carry an explicit snake_case tag,
+//     unique within the struct — the discipline that keeps the wire
+//     surfaces of internal/service and cmd/mapserve in sync.
+var Registry = &Analyzer{
+	Name: "registry",
+	Doc: "keep the strategy registries, their docs, CLI flag help, the " +
+		"/strategies endpoint, and wire-struct JSON tags in agreement",
+	Run: runRegistry,
+}
+
+// registryFlagNames are the CLI flags whose help text must come from the
+// registries.
+var registryFlagNames = map[string]string{
+	"clusterer": "Clusterer",
+	"cluster":   "Clusterer",
+	"refiner":   "Refiner",
+}
+
+// snakeTag is the wire-tag shape every JSON field name must match.
+var snakeTag = regexp.MustCompile(`^[a-z0-9_]+$`)
+
+func runRegistry(prog *Program) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		var found []Diagnostic
+		found = append(found, checkDocsCoverage(prog, pkg)...)
+		found = append(found, checkFlagWiring(prog, pkg)...)
+		found = append(found, checkStrategiesWiring(prog, pkg)...)
+		found = append(found, checkWireTags(prog, pkg)...)
+		for _, d := range found {
+			if !allowedAt(pkg.Directives, d.Pos) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	return diags, nil
+}
+
+// docsMap is one `var <kind>Docs = map[string]string{...}` declaration.
+type docsMap struct {
+	kind string // e.g. "refiner"
+	keys map[string]token.Pos
+	pos  token.Pos
+}
+
+// checkDocsCoverage enforces registered-name ↔ docs-map agreement inside
+// registry-defining packages.
+func checkDocsCoverage(prog *Program, pkg *Package) []Diagnostic {
+	var maps []docsMap
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			spec, ok := n.(*ast.ValueSpec)
+			if !ok || len(spec.Names) != 1 || len(spec.Values) != 1 {
+				return true
+			}
+			name := spec.Names[0].Name
+			if !strings.HasSuffix(name, "Docs") || len(name) == len("Docs") {
+				return true
+			}
+			lit, ok := spec.Values[0].(*ast.CompositeLit)
+			if !ok || !isMapType(pkg.Info.TypeOf(lit)) {
+				return true
+			}
+			dm := docsMap{
+				kind: strings.TrimSuffix(name, "Docs"),
+				keys: map[string]token.Pos{},
+				pos:  spec.Pos(),
+			}
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := stringLit(kv.Key); ok {
+					dm.keys[key] = kv.Pos()
+				}
+			}
+			maps = append(maps, dm)
+			return true
+		})
+	}
+	if len(maps) == 0 {
+		return nil
+	}
+
+	var diags []Diagnostic
+	for _, dm := range maps {
+		registered := map[string]token.Pos{}
+		reg1 := "MustRegister" + capitalize(dm.kind)
+		reg2 := "Register" + capitalize(dm.kind)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				obj := calleeFunc(pkg.Info, call)
+				if obj == nil || (obj.Name() != reg1 && obj.Name() != reg2) {
+					return true
+				}
+				if name, ok := stringLit(call.Args[0]); ok {
+					registered[name] = call.Pos()
+				}
+				return true
+			})
+		}
+		if len(registered) == 0 {
+			continue // no init-time literal registrations to cross-check
+		}
+		for name, pos := range registered {
+			if _, ok := dm.keys[name]; !ok {
+				diags = append(diags, registryDiag(prog, pkg, pos,
+					"%s %q is registered but missing from %sDocs — document every strategy the registry serves", dm.kind, name, dm.kind))
+			}
+		}
+		for name, pos := range dm.keys {
+			if _, ok := registered[name]; !ok {
+				diags = append(diags, registryDiag(prog, pkg, pos,
+					"%sDocs documents %q but nothing registers it — remove the stale entry or register the strategy", dm.kind, name))
+			}
+		}
+	}
+	return diags
+}
+
+// checkFlagWiring enforces registry-derived help text on strategy flags.
+func checkFlagWiring(prog *Program, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 3 {
+				return true
+			}
+			obj := calleeFunc(pkg.Info, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "flag" ||
+				!strings.HasPrefix(obj.Name(), "String") {
+				return true
+			}
+			// flag.String/FlagSet.String name the flag first; the *Var
+			// forms take the destination pointer first, the name second.
+			flagName, ok := stringLit(call.Args[0])
+			if !ok {
+				if flagName, ok = stringLit(call.Args[1]); !ok {
+					return true
+				}
+			}
+			kind, tracked := registryFlagNames[flagName]
+			if !tracked {
+				return true
+			}
+			usage := call.Args[len(call.Args)-1]
+			if !mentionsRegistryCall(pkg.Info, usage, kind) {
+				diags = append(diags, registryDiag(prog, pkg, call.Pos(),
+					"-%s help text does not derive from the registry — build it with %sUsage() so new strategies appear automatically", flagName, kind))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkStrategiesWiring enforces registry-sourced /strategies payloads.
+func checkStrategiesWiring(prog *Program, pkg *Package) []Diagnostic {
+	if pkg.Types.Name() != "main" || pkg.Types.Scope().Lookup("strategiesResponse") == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	fields := map[string]string{"Clusterers": "Clusterer", "Refiners": "Refiner"}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.TypeOf(lit)
+			if t == nil || !strings.HasSuffix(t.String(), ".strategiesResponse") {
+				return true
+			}
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := ast.Unparen(kv.Key).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				kind, tracked := fields[key.Name]
+				if !tracked {
+					continue
+				}
+				if !mentionsRegistryCall(pkg.Info, kv.Value, kind) {
+					diags = append(diags, registryDiag(prog, pkg, kv.Pos(),
+						"strategiesResponse.%s is not populated from %sNames() — the endpoint must serve the registry verbatim", key.Name, kind))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkWireTags enforces JSON tag hygiene on every tagged struct.
+func checkWireTags(prog *Program, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			tagged := false
+			for _, fld := range st.Fields.List {
+				if _, ok := jsonTag(fld); ok {
+					tagged = true
+					break
+				}
+			}
+			if !tagged {
+				return true
+			}
+			seen := map[string]token.Pos{}
+			for _, fld := range st.Fields.List {
+				tag, hasTag := jsonTag(fld)
+				if len(fld.Names) == 0 {
+					continue // embedded: flattened, carries its own tags
+				}
+				for _, name := range fld.Names {
+					if !ast.IsExported(name.Name) {
+						continue
+					}
+					if !hasTag {
+						diags = append(diags, registryDiag(prog, pkg, name.Pos(),
+							"field %s of a JSON wire struct has no json tag — every exported field needs an explicit snake_case tag", name.Name))
+						continue
+					}
+					base, _, _ := strings.Cut(tag, ",")
+					if base == "-" {
+						continue
+					}
+					if base == "" || !snakeTag.MatchString(base) {
+						diags = append(diags, registryDiag(prog, pkg, name.Pos(),
+							"field %s has json tag %q — wire names are snake_case ([a-z0-9_]+)", name.Name, base))
+						continue
+					}
+					if prev, dup := seen[base]; dup {
+						prevPos := prog.Fset.Position(prev)
+						diags = append(diags, registryDiag(prog, pkg, name.Pos(),
+							"field %s duplicates json tag %q (first at line %d) — wire names must be unique", name.Name, base, prevPos.Line))
+						continue
+					}
+					seen[base] = name.Pos()
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// mentionsRegistryCall reports whether the expression contains a call to
+// <kind>Usage, <kind>Names or <kind>Doc — any qualifier.
+func mentionsRegistryCall(_ *types.Info, e ast.Expr, kind string) bool {
+	want := map[string]bool{kind + "Usage": true, kind + "Names": true, kind + "Doc": true}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if want[name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// registryDiag builds a registry finding unless waived.
+func registryDiag(prog *Program, pkg *Package, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:      prog.Fset.Position(pos),
+		Analyzer: "registry",
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// stringLit unquotes a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// jsonTag extracts the json struct tag of a field, if present.
+func jsonTag(fld *ast.Field) (string, bool) {
+	if fld.Tag == nil {
+		return "", false
+	}
+	raw, err := strconv.Unquote(fld.Tag.Value)
+	if err != nil {
+		return "", false
+	}
+	return reflect.StructTag(raw).Lookup("json")
+}
+
+// capitalize upper-cases the first byte of an ASCII identifier.
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

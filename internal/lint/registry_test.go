@@ -1,0 +1,17 @@
+package lint
+
+import "testing"
+
+// TestRegistryFlagsDrift drives the analyzer over a fixture with every
+// drift it tracks: docs/registration mismatches in both directions,
+// hand-written strategy flag help, a hand-rolled strategies payload, and
+// missing, camelCase, and duplicate wire tags.
+func TestRegistryFlagsDrift(t *testing.T) {
+	runFixture(t, Registry, "./internal/lint/testdata/reg_bad")
+}
+
+// TestRegistryAcceptsWiredSurfaces pins the analyzer silent over a
+// correctly wired registry package.
+func TestRegistryAcceptsWiredSurfaces(t *testing.T) {
+	runFixture(t, Registry, "./internal/lint/testdata/reg_good")
+}

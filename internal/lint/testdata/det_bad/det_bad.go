@@ -1,0 +1,58 @@
+// Package detbad is a mapcheck fixture: a deterministic package in which
+// every construct below must be flagged by the determinism analyzer. The
+// trailing want-annotations drive the analyzer tests.
+//
+//mapcheck:deterministic
+package detbad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// Elapsed measures on the wall clock.
+func Elapsed(began time.Time) time.Duration {
+	return time.Since(began) // want "time.Since"
+}
+
+// GlobalDraw samples the process-global source.
+func GlobalDraw(n int) int {
+	return rand.Intn(n) // want "math/rand.Intn"
+}
+
+// EnvSeeded seeds a generator from the environment.
+func EnvSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "call to time.Now" "seeded from a call"
+}
+
+// LeakOrder lets map iteration order escape every way the analyzer tracks.
+func LeakOrder(m map[string]int, out chan<- string) ([]string, float64, string) {
+	var names []string
+	var sum float64
+	last := ""
+	for k, v := range m {
+		names = append(names, k) // want "append to names"
+		sum += float64(v)        // want "float accumulation"
+		last = k                 // want "assigning the map key"
+		fmt.Println(k)           // want "fmt.Println inside range"
+		out <- k                 // want "channel send"
+	}
+	return names, sum, last
+}
+
+// IndexedWrite stores at a loop-carried index.
+func IndexedWrite(m map[string]int) []int {
+	filled := make([]int, len(m))
+	i := 0
+	for _, v := range m {
+		filled[i] = v // want "slice store at a loop-carried index"
+		i++
+	}
+	return filled
+}

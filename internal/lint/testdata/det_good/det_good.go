@@ -1,0 +1,65 @@
+// Package detgood is a mapcheck fixture: deterministic code exercising
+// the idioms the determinism analyzer must NOT flag — most importantly
+// the registries' collect-then-sort map-range pattern. Any finding in
+// this package is a false positive and fails the analyzer tests.
+//
+//mapcheck:deterministic
+package detgood
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SortedNames collects map keys and sorts before use — the exact shape of
+// internal/search RefinerNames, the mandated no-false-positive case.
+func SortedNames(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// InjectedSeed derives its generator from configuration, not environment.
+func InjectedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// InjectedSource consumes a caller-provided source value.
+func InjectedSource(src rand.Source) *rand.Rand {
+	return rand.New(src)
+}
+
+// MethodDraw draws from an injected generator: instance methods are fine,
+// only the package-global convenience functions are banned.
+func MethodDraw(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// Invert writes map-keyed and commutative-integer state: both are
+// independent of iteration order.
+func Invert(m map[string]int) (map[int]string, int) {
+	inv := make(map[int]string, len(m))
+	total := 0
+	for k, v := range m {
+		inv[v] = k
+		total += v
+	}
+	return inv, total
+}
+
+// KeyedStore writes s[k] keyed by the range key: order-independent.
+func KeyedStore(m map[int]int, s []int) {
+	for k, v := range m {
+		s[k] = v
+	}
+}
+
+// WaivedStamp documents a sanctioned wall-clock read.
+func WaivedStamp() time.Time {
+	//mapcheck:allow fixture: the waiver must silence the finding below
+	return time.Now()
+}

@@ -1,0 +1,18 @@
+// Package dirbad is a mapcheck fixture for the directive self-check: a
+// package-granular noalloc (meaningless), a reasonless allow (waives
+// nothing), and an unknown verb (probably a typo). The directive test
+// asserts all three findings programmatically — trailing `// want`
+// comments would merge into the directives' own reason text.
+//
+//mapcheck:noalloc
+package dirbad
+
+// waived carries an allow with no reason, which must be rejected rather
+// than silently waiving the line below.
+func waived() int {
+	//mapcheck:allow
+	return 1
+}
+
+//mapcheck:frobnicate
+func unknownVerb() {}

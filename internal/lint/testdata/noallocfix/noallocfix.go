@@ -1,0 +1,31 @@
+// Package noallocfix is a mapcheck fixture for the escape-analysis gate:
+// one violating function, one clean kernel, one waived deliberate
+// allocation. The `// want` annotations drive the analyzer tests.
+package noallocfix
+
+// Leak hands a fresh heap slice to its caller on every call — the exact
+// regression the gate exists to catch.
+//
+//mapcheck:noalloc
+func Leak(n int) []int {
+	return make([]int, n) // want "escapes to heap"
+}
+
+// Sum is a clean, allocation-free kernel and must not be flagged.
+//
+//mapcheck:noalloc
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Amortized allocates deliberately and carries the waiver.
+//
+//mapcheck:noalloc
+func Amortized(n int) []int {
+	//mapcheck:allow fixture: deliberate amortized scratch allocation
+	return make([]int, n)
+}

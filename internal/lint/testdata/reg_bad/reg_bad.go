@@ -1,0 +1,59 @@
+// Package main is a mapcheck fixture for the registry analyzer: a docs
+// map out of sync with its registrations in both directions, a strategy
+// flag with hand-written help, a half-hand-rolled strategies payload, and
+// sloppy wire tags. The `// want` annotations drive the analyzer tests.
+package main
+
+import "flag"
+
+// widgetDocs drifts from the registrations in init below.
+var widgetDocs = map[string]string{
+	"alpha": "registered and documented",
+	"ghost": "documented but never registered", // want "nothing registers it"
+}
+
+// MustRegisterWidget mimics a registry entry point.
+func MustRegisterWidget(name string, factory func() int) { _, _ = name, factory }
+
+func init() {
+	MustRegisterWidget("alpha", func() int { return 1 })
+	MustRegisterWidget("beta", func() int { return 2 }) // want "missing from widgetDocs"
+}
+
+// ClustererNames and RefinerNames mimic the registry listings.
+func ClustererNames() []string { return nil }
+
+// RefinerNames mimics the refiner registry listing.
+func RefinerNames() []string { return nil }
+
+// hardcoded is a strategy flag whose help text will rot.
+var hardcoded = flag.String("refiner", "paper", "one of: paper, pairwise, anneal") // want "does not derive from the registry"
+
+// strategiesResponse mimics the server's wire struct.
+type strategiesResponse struct {
+	Clusterers []string `json:"clusterers"`
+	Refiners   []string `json:"refiners"`
+}
+
+// buildStrategies hand-rolls one list and wires the other correctly.
+func buildStrategies() strategiesResponse {
+	return strategiesResponse{
+		Clusterers: []string{"random"}, // want "not populated from ClustererNames"
+		Refiners:   RefinerNames(),
+	}
+}
+
+// wireStats exercises every tag-hygiene rule.
+type wireStats struct {
+	Solves   uint64 `json:"solves"`
+	Hits     uint64 // want "no json tag"
+	CamelTag uint64 `json:"camelTag"` // want "snake_case"
+	Dup      uint64 `json:"solves"`   // want "duplicates json tag"
+	hidden   int
+}
+
+func main() {
+	_ = hardcoded
+	_ = buildStrategies()
+	_ = wireStats{}
+}

@@ -1,0 +1,60 @@
+// Package main is a mapcheck fixture for the registry analyzer's happy
+// path: docs and registrations in sync, registry-derived flag help, a
+// registry-backed strategies payload, and clean wire tags. Any finding in
+// this package is a false positive and fails the analyzer tests.
+package main
+
+import "flag"
+
+// gadgetDocs matches the registrations in init exactly.
+var gadgetDocs = map[string]string{
+	"alpha": "registered and documented",
+	"beta":  "also registered and documented",
+}
+
+// MustRegisterGadget mimics a registry entry point.
+func MustRegisterGadget(name string, factory func() int) { _, _ = name, factory }
+
+func init() {
+	MustRegisterGadget("alpha", func() int { return 1 })
+	MustRegisterGadget("beta", func() int { return 2 })
+}
+
+// ClustererNames mimics the clusterer registry listing.
+func ClustererNames() []string { return nil }
+
+// RefinerNames mimics the refiner registry listing.
+func RefinerNames() []string { return nil }
+
+// RefinerUsage mimics the registry's flag-help renderer.
+func RefinerUsage() string { return "" }
+
+// derived builds its help text from the registry.
+var derived = flag.String("refiner", "", "search strategy, one of: "+RefinerUsage())
+
+// strategiesResponse mimics the server's wire struct.
+type strategiesResponse struct {
+	Clusterers []string `json:"clusterers"`
+	Refiners   []string `json:"refiners"`
+}
+
+// buildStrategies serves the registries verbatim.
+func buildStrategies() strategiesResponse {
+	return strategiesResponse{
+		Clusterers: ClustererNames(),
+		Refiners:   RefinerNames(),
+	}
+}
+
+// wireStats carries explicit, unique snake_case tags throughout.
+type wireStats struct {
+	Solves uint64 `json:"solves"`
+	Hits   uint64 `json:"hits,omitempty"`
+	Skip   uint64 `json:"-"`
+}
+
+func main() {
+	_ = derived
+	_ = buildStrategies()
+	_ = wireStats{}
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	wantRe  = regexp.MustCompile(`// want (.*)$`)
+	quoteRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// runFixture loads one testdata package, runs a single analyzer over it,
+// and matches the findings against the fixture's trailing
+// `// want "substr"` annotations, analysistest-style: every annotated line
+// must produce a finding containing each quoted substring, and every
+// finding must land on an annotated line. A fixture with no annotations
+// therefore asserts the analyzer stays silent.
+func runFixture(t *testing.T, a *Analyzer, pattern string) {
+	t.Helper()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root, pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	diags, err := a.Run(prog)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pattern, err)
+	}
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := map[lineKey][]string{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.GoFiles {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				m := wantRe.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				k := lineKey{file, i + 1}
+				for _, q := range quoteRe.FindAllString(m[1], -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want annotation %s: %v", file, i+1, q, err)
+					}
+					wants[k] = append(wants[k], s)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, w := range wants[k] {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: no finding matching %q", k.file, k.line, w)
+		}
+	}
+}

@@ -16,4 +16,6 @@
 // Distance tables are immutable once built and safe to share: the solver
 // layer caches one per machine, and every evaluator built from it reads it
 // concurrently without locks.
+//
+//mapcheck:deterministic
 package paths

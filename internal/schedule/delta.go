@@ -47,6 +47,8 @@ func defaultConeBudget(edges int) int { return edges / 2 }
 // by the candidate swaps (bit i set for lane i), and returns the smallest
 // marked position (len(endC) when no lane perturbs anything). Identity
 // lanes (ks == ls) seed nothing: they price the incumbent itself.
+//
+//mapcheck:noalloc
 func (s *SwapSession) seedCone(ks, ls *[SwapLanes]int) int {
 	e := s.e
 	mask := s.mask
@@ -78,6 +80,8 @@ func (s *SwapSession) seedCone(ks, ls *[SwapLanes]int) int {
 // batch instead. The lane views must be synced to (ks, ls) first; the
 // committed end-time cache endC and its prefix maxima must mirror the
 // incumbent.
+//
+//mapcheck:noalloc
 func (s *SwapSession) tryDeltaBatch(ks, ls *[SwapLanes]int, totals *[SwapLanes]int) bool {
 	e := s.e
 	// Pre-estimate before marking anything: the summed direct (seed-level)
@@ -208,6 +212,8 @@ func (s *SwapSession) tryDeltaBatch(ks, ls *[SwapLanes]int, totals *[SwapLanes]i
 // Unlike the trial pass this never bails out — the cache must end up
 // mirroring the incumbent — but a cone is walked only once per accepted
 // swap, and acceptances are a small fraction of trials.
+//
+//mapcheck:noalloc
 func (s *SwapSession) applyConeToCommitted(k, l int) {
 	e := s.e
 	n := len(s.endC)
@@ -262,6 +268,8 @@ func (s *SwapSession) applyConeToCommitted(k, l int) {
 
 // rebuildPrefMax recomputes the committed prefix maxima from position
 // `from` on: prefMax[t] = max(endC[0..t]).
+//
+//mapcheck:noalloc
 func (s *SwapSession) rebuildPrefMax(from int) {
 	endC, prefMax := s.endC, s.prefMax
 	for t := from; t < len(endC); t++ {

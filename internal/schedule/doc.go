@@ -42,4 +42,6 @@
 // A contention-aware evaluator (an extension beyond the paper, used only by
 // the ablation experiments) lives in contention.go; a link-contention
 // variant in linkcontention.go.
+//
+//mapcheck:deterministic
 package schedule

@@ -364,9 +364,13 @@ func (e *Evaluator) Evaluate(a *Assignment) *Result {
 // capacity allows: with a warmed Result (one prior call on the same
 // evaluator shape) it performs no allocation. Like TotalTime it uses the
 // evaluator's scratch arena, so concurrent callers need their own Fork.
+//
+//mapcheck:noalloc
 func (e *Evaluator) EvaluateInto(a *Assignment, res *Result) {
 	n := len(e.size)
+	//mapcheck:allow cold grow path: warm Results reuse capacity, the steady state allocates nothing
 	res.Start = growInts(res.Start, n)
+	//mapcheck:allow cold grow path: warm Results reuse capacity, the steady state allocates nothing
 	res.End = growInts(res.End, n)
 	res.LatestTasks = res.LatestTasks[:0]
 	res.TotalTime = 0
@@ -405,6 +409,8 @@ func (e *Evaluator) EvaluateInto(a *Assignment, res *Result) {
 // live in the evaluator's scratch arena and every lookup walks the
 // flattened CSR arrays in topological order. Concurrent callers must each
 // use their own Fork.
+//
+//mapcheck:noalloc
 func (e *Evaluator) TotalTime(a *Assignment) int {
 	return e.fillEnds(a.ProcOf, e.end)
 }
@@ -412,6 +418,8 @@ func (e *Evaluator) TotalTime(a *Assignment) int {
 // fillEnds runs the topological evaluation pass, writing the end time of
 // every task (by topological position) into end and returning the
 // makespan. It is the shared body of TotalTime and SwapSession priming.
+//
+//mapcheck:noalloc
 func (e *Evaluator) fillEnds(procOf []int, end []int) int {
 	commOff, commEdges := e.commOff, e.commEdges
 	clusOf, size, distT, ns := e.clusOf, e.size, e.distT, e.ns

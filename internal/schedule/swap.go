@@ -210,6 +210,8 @@ func (s *SwapSession) Evaluator() *Evaluator { return s.e }
 // TrySwap(k, k) prices the incumbent itself. The swap's cone is priced
 // incrementally against the committed end times; a cone past the budget
 // falls back to one full scalar evaluation.
+//
+//mapcheck:noalloc
 func (s *SwapSession) TrySwap(k, l int) int {
 	if s.memoTotal != nil {
 		if i := s.memoIdx(k, l); s.memoStamp[i] == s.memoEpoch {
@@ -243,6 +245,8 @@ func (s *SwapSession) TrySwap(k, l int) int {
 // assignment, without committing or touching the incumbent. The procOf
 // slice is the candidate's cluster→processor vector; it is read, never
 // retained. Allocation-free, like TrySwap.
+//
+//mapcheck:noalloc
 func (s *SwapSession) TryAssign(procOf []int) int {
 	s.pending = false
 	return s.e.fillEnds(procOf, s.scratch)
@@ -251,8 +255,11 @@ func (s *SwapSession) TryAssign(procOf []int) int {
 // Commit promotes the most recent TrySwap trial to committed state in
 // O(1). It panics if no trial is pending. To accept a TrySwapBatch lane,
 // use CommitSwap with the lane's clusters and total.
+//
+//mapcheck:noalloc
 func (s *SwapSession) Commit() {
 	if !s.pending {
+		//mapcheck:allow panic string on the misuse error path, never on a successful trial
 		panic("schedule: SwapSession.Commit without a pending TrySwap")
 	}
 	s.CommitSwap(s.lastK, s.lastL, s.lastTotal)
@@ -263,6 +270,8 @@ func (s *SwapSession) Commit() {
 // the swap to the incumbent and walks the swap's cone once to bring the
 // cached end times (and their prefix maxima) back in line — O(cone), not
 // O(all edges), and allocation-free.
+//
+//mapcheck:noalloc
 func (s *SwapSession) CommitSwap(k, l, total int) {
 	s.lanes.commitSwap(k, l)
 	if k != l {
@@ -277,6 +286,8 @@ func (s *SwapSession) CommitSwap(k, l, total int) {
 // exact total time the caller already knows from TryAssign. An arbitrary
 // replacement shares no cone with the old incumbent, so the cached end
 // times are refreshed with one full evaluation pass. Allocation-free.
+//
+//mapcheck:noalloc
 func (s *SwapSession) CommitAssign(procOf []int, total int) {
 	s.lanes.commitAssign(procOf)
 	s.total = total
@@ -296,6 +307,8 @@ func (s *SwapSession) CommitAssign(procOf []int, total int) {
 // cone against the committed end times), falling back to the full
 // interleaved evaluation pass when the union of cones outgrows the
 // session's budget. Every path yields exact totals.
+//
+//mapcheck:noalloc
 func (s *SwapSession) TrySwapBatch(ks, ls *[SwapLanes]int, totals *[SwapLanes]int) {
 	if s.memoTotal != nil {
 		hit := true
@@ -327,6 +340,8 @@ func (s *SwapSession) TrySwapBatch(ks, ls *[SwapLanes]int, totals *[SwapLanes]in
 // fullSwapBatch is the non-incremental batch kernel: one interleaved
 // topological pass pricing all SwapLanes lanes, each edge record loaded
 // once for all eight. The lane views must be synced first.
+//
+//mapcheck:noalloc
 func (s *SwapSession) fullSwapBatch(totals *[SwapLanes]int) {
 	e := s.e
 	procT := s.lanes.procT
@@ -415,9 +430,13 @@ func (s *CardSession) ProcOf() []int { return s.lanes.a.ProcOf }
 // CommitSwap applies the swap of clusters k and l to the incumbent.
 // Cardinality commits carry no cached metric, so any swap — priced or not —
 // may be committed; Bokhari's probabilistic jumps commit blind swaps.
+//
+//mapcheck:noalloc
 func (s *CardSession) CommitSwap(k, l int) { s.lanes.commitSwap(k, l) }
 
 // CommitAssign replaces the committed incumbent with procOf (copied).
+//
+//mapcheck:noalloc
 func (s *CardSession) CommitAssign(procOf []int) { s.lanes.commitAssign(procOf) }
 
 // TryCardBatch prices SwapLanes candidate swaps of the incumbent in one
@@ -425,6 +444,8 @@ func (s *CardSession) CommitAssign(procOf []int) { s.lanes.commitAssign(procOf) 
 // ls[i] exchanged, and cards[i] receives its exact cardinality. Lanes are
 // independent — duplicates are fine, and ks[i] == ls[i] prices the
 // unperturbed incumbent — and nothing is committed.
+//
+//mapcheck:noalloc
 func (s *CardSession) TryCardBatch(ks, ls *[SwapLanes]int, cards *[SwapLanes]int) {
 	e := s.e
 	s.lanes.sync(ks, ls)

@@ -35,6 +35,8 @@ type Anneal struct {
 func (*Anneal) Name() string { return "anneal" }
 
 // Refine implements Refiner.
+//
+//mapcheck:noalloc
 func (an *Anneal) Refine(ctx context.Context, sess *schedule.SwapSession, b Budget, rng *rand.Rand) Trace {
 	cooling := an.Cooling
 	if cooling == 0 {
@@ -45,6 +47,7 @@ func (an *Anneal) Refine(ctx context.Context, sess *schedule.SwapSession, b Budg
 		minTemp = 1e-3
 	}
 	tr := Trace{Final: sess.TotalTime()}
+	//mapcheck:allow per-run free-cluster list, amortized over the trial budget
 	free := b.free(sess)
 	if len(free) < 2 || b.Trials <= 0 {
 		return tr
@@ -54,6 +57,7 @@ func (an *Anneal) Refine(ctx context.Context, sess *schedule.SwapSession, b Budg
 	}
 	cur := sess.TotalTime()
 	bestTotal := cur
+	//mapcheck:allow per-run best-assignment scratch, amortized over the trial budget
 	bestProc := make([]int, sess.K())
 	copy(bestProc, sess.ProcOf())
 

@@ -32,8 +32,11 @@ type Bokhari struct {
 func (*Bokhari) Name() string { return "bokhari" }
 
 // Refine implements Refiner.
+//
+//mapcheck:noalloc
 func (bo *Bokhari) Refine(ctx context.Context, sess *schedule.SwapSession, b Budget, rng *rand.Rand) Trace {
 	tr := Trace{Final: sess.TotalTime()}
+	//mapcheck:allow per-run free-cluster list, amortized over the trial budget
 	free := b.free(sess)
 	if len(free) < 2 || b.Trials <= 0 {
 		return tr
@@ -50,8 +53,10 @@ func (bo *Bokhari) Refine(ctx context.Context, sess *schedule.SwapSession, b Bud
 		jumpSwaps = 1
 	}
 	bestTotal := sess.TotalTime()
+	//mapcheck:allow per-run best-assignment scratch, amortized over the trial budget
 	bestProc := make([]int, sess.K())
 	copy(bestProc, sess.ProcOf())
+	//mapcheck:allow per-run jump scratch, amortized over the trial budget
 	scratch := make([]int, sess.K())
 
 	descend := Pairwise{}

@@ -27,8 +27,11 @@ type Pairwise struct {
 func (Pairwise) Name() string { return "pairwise" }
 
 // Refine implements Refiner.
+//
+//mapcheck:noalloc
 func (p Pairwise) Refine(ctx context.Context, sess *schedule.SwapSession, b Budget, rng *rand.Rand) Trace {
 	tr := Trace{Final: sess.TotalTime()}
+	//mapcheck:allow per-run free-cluster list, amortized over the trial budget
 	free := b.free(sess)
 	if len(free) < 2 || b.Trials <= 0 {
 		return tr

@@ -28,8 +28,11 @@ type Paper struct{}
 func (Paper) Name() string { return "paper" }
 
 // Refine implements Refiner.
+//
+//mapcheck:noalloc
 func (Paper) Refine(ctx context.Context, sess *schedule.SwapSession, b Budget, rng *rand.Rand) Trace {
 	tr := Trace{Final: sess.TotalTime()}
+	//mapcheck:allow per-run free-cluster list, amortized over the trial budget
 	free := b.free(sess)
 	if len(free) < 2 || b.Trials <= 0 {
 		return tr
@@ -109,15 +112,21 @@ type FullReshuffle struct{}
 func (FullReshuffle) Name() string { return "full-reshuffle" }
 
 // Refine implements Refiner.
+//
+//mapcheck:noalloc
 func (FullReshuffle) Refine(ctx context.Context, sess *schedule.SwapSession, b Budget, rng *rand.Rand) Trace {
 	tr := Trace{Final: sess.TotalTime()}
+	//mapcheck:allow per-run free-cluster list, amortized over the trial budget
 	free := b.free(sess)
 	if len(free) < 2 || b.Trials <= 0 {
 		return tr
 	}
+	//mapcheck:allow per-run free-processor list, amortized over the trial budget
 	procs := b.freeProcs(sess, free)
+	//mapcheck:allow per-run trial-assignment scratch, amortized over the trial budget
 	trial := make([]int, sess.K())
 	copy(trial, sess.ProcOf())
+	//mapcheck:allow per-run permutation scratch, amortized over the trial budget
 	perm := make([]int, len(procs))
 	for t := 0; t < b.Trials; t++ {
 		if ctx.Err() != nil {

@@ -20,7 +20,20 @@ type RefinerFactory func() Refiner
 var registry = struct {
 	sync.RWMutex
 	factories map[string]RefinerFactory
-}{factories: map[string]RefinerFactory{}}
+	docs      map[string]string
+}{factories: map[string]RefinerFactory{}, docs: map[string]string{}}
+
+// refinerDocs holds the one-line description served for each built-in
+// strategy by RefinerDoc, the CLIs, and GET /strategies. The mapcheck
+// registry analyzer cross-checks this map against the MustRegisterRefiner
+// calls below, so a new built-in cannot ship undocumented.
+var refinerDocs = map[string]string{
+	"paper":          "the paper's §4.3.3 random-change refinement: random single-task moves, accept on improvement",
+	"full-reshuffle": "re-draws a complete random assignment every trial and keeps the best",
+	"pairwise":       "systematic pairwise task exchange sweeps until no swap improves",
+	"anneal":         "simulated annealing over single-task moves with a geometric cooling schedule",
+	"bokhari":        "Bokhari-style pairwise interchange with probabilistic jumps out of local minima",
+}
 
 func init() {
 	// The built-in strategies. "paper" is the canonical §4.3.3 random-change
@@ -30,6 +43,9 @@ func init() {
 	MustRegisterRefiner("pairwise", func() Refiner { return Pairwise{} })
 	MustRegisterRefiner("anneal", func() Refiner { return &Anneal{} })
 	MustRegisterRefiner("bokhari", func() Refiner { return &Bokhari{} })
+	for name, doc := range refinerDocs {
+		registry.docs[name] = doc
+	}
 }
 
 // RegisterRefiner adds a named search strategy to the registry, making it
@@ -90,4 +106,12 @@ func RefinerNames() []string {
 // flag descriptions and error messages.
 func RefinerUsage() string {
 	return strings.Join(RefinerNames(), ", ")
+}
+
+// RefinerDoc returns the one-line description of a registered strategy, or
+// "" when the strategy carries none (external registrations may not).
+func RefinerDoc(name string) string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return registry.docs[name]
 }

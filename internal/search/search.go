@@ -12,6 +12,8 @@
 // independent of how a trial happened to be priced. The named registry
 // (RefinerByName) is the single source of truth for which strategies
 // exist, mirroring the clusterer registry.
+//
+//mapcheck:deterministic
 package search
 
 import (

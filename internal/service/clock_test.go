@@ -1,0 +1,51 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestInjectedClockDrivesElapsed pins the clock-injection contract: with a
+// fake clock, Response.Elapsed is computed entirely from injected readings
+// — no hidden time.Now on the solve path — and cache-replayed responses
+// measure their own wait on the same clock.
+func TestInjectedClockDrivesElapsed(t *testing.T) {
+	p := testProblem(t)
+	base := time.Unix(1_000_000, 0)
+	var ticks int
+	s := Solver{Clock: func() time.Time {
+		ticks++
+		return base.Add(time.Duration(ticks) * time.Second)
+	}}
+	req := &Request{Problem: p, Topology: "mesh-2x3", Clusterer: "blocks", Seed: 3}
+
+	resp, err := s.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold path: began at tick 1, published at tick 2 — exactly one second
+	// on the fake clock. Any other value means a wall-clock read sneaked
+	// onto the solve path.
+	if resp.Elapsed != time.Second {
+		t.Fatalf("cold Elapsed = %v, want exactly 1s from the fake clock", resp.Elapsed)
+	}
+	if resp.Diagnostics.CacheHit {
+		t.Fatal("first solve reported a cache hit")
+	}
+
+	warm, err := s.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm path: began at tick 3, replayed at tick 4.
+	if !warm.Diagnostics.CacheHit {
+		t.Fatal("second solve missed the cache")
+	}
+	if warm.Elapsed != time.Second {
+		t.Fatalf("cached Elapsed = %v, want exactly 1s from the fake clock", warm.Elapsed)
+	}
+	if warm.Result.TotalTime != resp.Result.TotalTime {
+		t.Fatalf("cache replay changed the result: %d vs %d", warm.Result.TotalTime, resp.Result.TotalTime)
+	}
+}

@@ -38,4 +38,6 @@
 // forks, so concurrent solves and batch workers never contend on
 // evaluation scratch state. Responses handed out by a caching Solver are
 // shared between callers and must be treated as read-only.
+//
+//mapcheck:deterministic
 package service

@@ -207,7 +207,7 @@ func (st *solveState) cacheLookup(ctx context.Context) error {
 	s := st.solver
 	for {
 		if resp, ok := s.results.Get(st.key); ok {
-			st.resp = resp.cachedCopy(st.began)
+			st.resp = resp.cachedCopy(s.now().Sub(st.began))
 			st.done = true
 			return nil
 		}
@@ -226,7 +226,7 @@ func (st *solveState) cacheLookup(ctx context.Context) error {
 		}
 		if !call.interrupted {
 			s.coalesced.Add(1)
-			st.resp = call.resp.coalescedCopy(st.began)
+			st.resp = call.resp.coalescedCopy(s.now().Sub(st.began))
 			st.done = true
 			return nil
 		}
@@ -306,7 +306,7 @@ func (st *solveState) publish(ctx context.Context) error {
 			Refiner:        st.req.Refiner,
 			DistanceCached: st.distCached,
 		},
-		Elapsed: time.Since(st.began),
+		Elapsed: st.solver.now().Sub(st.began),
 	}
 	if st.key != "" && ctx.Err() == nil {
 		st.solver.results.Put(st.key, resp)
@@ -317,13 +317,14 @@ func (st *solveState) publish(ctx context.Context) error {
 
 // cachedCopy returns a per-caller view of a cache-replayed response: the
 // deep state (result, schedule, graphs) is shared read-only, the
-// wall-clock timing is the caller's own, and the cache-hit diagnostic is
-// set. Everything deterministic is byte-identical to the cold response.
-func (r *Response) cachedCopy(began time.Time) *Response {
+// wall-clock timing is the caller's own (measured on the solver's
+// injectable clock), and the cache-hit diagnostic is set. Everything
+// deterministic is byte-identical to the cold response.
+func (r *Response) cachedCopy(elapsed time.Duration) *Response {
 	out := *r
 	out.Diagnostics.CacheHit = true
 	out.Diagnostics.Coalesced = false
-	out.Elapsed = time.Since(began)
+	out.Elapsed = elapsed
 	return &out
 }
 
@@ -331,11 +332,11 @@ func (r *Response) cachedCopy(began time.Time) *Response {
 // shared result did not come from the response cache (the follower joined
 // before the leader published), so CacheHit stays false and Coalesced
 // reports the ride-along truthfully.
-func (r *Response) coalescedCopy(began time.Time) *Response {
+func (r *Response) coalescedCopy(elapsed time.Duration) *Response {
 	out := *r
 	out.Diagnostics.CacheHit = false
 	out.Diagnostics.Coalesced = true
-	out.Elapsed = time.Since(began)
+	out.Elapsed = elapsed
 	return &out
 }
 

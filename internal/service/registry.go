@@ -24,7 +24,21 @@ type ClustererFactory func(rng *rand.Rand) cluster.Clusterer
 var registry = struct {
 	sync.RWMutex
 	factories map[string]ClustererFactory
-}{factories: map[string]ClustererFactory{}}
+	docs      map[string]string
+}{factories: map[string]ClustererFactory{}, docs: map[string]string{}}
+
+// clustererDocs holds the one-line description served for each built-in
+// strategy by ClustererDoc, the CLIs, and GET /strategies. The mapcheck
+// registry analyzer cross-checks this map against the MustRegisterClusterer
+// calls below, so a new built-in cannot ship undocumented.
+var clustererDocs = map[string]string{
+	"random":            "the paper's random clustering program: uniform random task-to-cluster draws",
+	"round-robin":       "deals tasks to clusters in index order, one per cluster per round",
+	"blocks":            "contiguous index blocks of near-equal size, preserving task locality",
+	"load-balance":      "greedy longest-processing-time placement onto the least-loaded cluster",
+	"edge-zeroing":      "merges clusters across the heaviest communication edges first",
+	"dominant-sequence": "critical-path-driven clustering that zeroes edges on the dominant sequence",
+}
 
 func init() {
 	// The built-in strategies, under the names the CLIs have always used.
@@ -34,6 +48,9 @@ func init() {
 	MustRegisterClusterer("load-balance", func(*rand.Rand) cluster.Clusterer { return cluster.LoadBalance{} })
 	MustRegisterClusterer("edge-zeroing", func(*rand.Rand) cluster.Clusterer { return cluster.EdgeZeroing{} })
 	MustRegisterClusterer("dominant-sequence", func(*rand.Rand) cluster.Clusterer { return cluster.DominantSequence{} })
+	for name, doc := range clustererDocs {
+		registry.docs[name] = doc
+	}
 }
 
 // RegisterClusterer adds a named clustering strategy to the registry,
@@ -99,6 +116,14 @@ func ClustererUsage() string {
 	return strings.Join(ClustererNames(), ", ")
 }
 
+// ClustererDoc returns the one-line description of a registered strategy,
+// or "" when the strategy carries none (external registrations may not).
+func ClustererDoc(name string) string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return registry.docs[name]
+}
+
 // The refiner registry lives in internal/search (the strategies themselves
 // are defined there); the service layer re-exports it so callers, CLIs and
 // the server resolve both strategy kinds — clusterers and refiners —
@@ -119,6 +144,9 @@ var (
 	// RefinerUsage renders the registered names as a comma-separated list
 	// for flag descriptions and error messages.
 	RefinerUsage = search.RefinerUsage
+	// RefinerDoc returns the one-line description of a registered search
+	// strategy, or "" when it carries none.
+	RefinerDoc = search.RefinerDoc
 )
 
 // RefinerByName instantiates a registered search strategy. Unknown names

@@ -62,6 +62,9 @@ var (
 	// ClustererUsage renders the registered names as a comma-separated
 	// list for flag help text.
 	ClustererUsage = service.ClustererUsage
+	// ClustererDoc returns the one-line description of a registered
+	// strategy, or "" when it carries none.
+	ClustererDoc = service.ClustererDoc
 )
 
 // The pluggable search engine. Every refinement and comparison strategy —
@@ -95,4 +98,7 @@ var (
 	// RefinerUsage renders the registered names as a comma-separated list
 	// for flag help text.
 	RefinerUsage = service.RefinerUsage
+	// RefinerDoc returns the one-line description of a registered search
+	// strategy, or "" when it carries none.
+	RefinerDoc = service.RefinerDoc
 )
