@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint vuln bench bench-refine bench-search bench-serve bench-smoke fuzz-smoke ci clean
+.PHONY: all build test race vet lint vuln bench bench-refine bench-search bench-serve bench-remap bench-smoke fuzz-smoke ci clean
 
 all: ci
 
@@ -60,22 +60,30 @@ bench-search:
 bench-serve:
 	$(GO) run ./cmd/mapbench -servebench -bench-out BENCH_serve.json
 
+# Measure warm-start remapping against cold re-solving on perturbed
+# workloads (service.Remap with the projected incumbent vs a full
+# multi-start solve) and append the entry to the recorded trajectory.
+bench-remap:
+	$(GO) run ./cmd/mapbench -remapbench -bench-out BENCH_serve.json
+
 # Fast benchmark gate for CI: the Go refinement benchmarks at a short
 # benchtime plus one quick pass of each harness (refinement kernel, the
-# per-refiner search benchmark and the cold-vs-warm serving benchmark), so
-# none can rot unnoticed.
+# per-refiner search benchmark, the cold-vs-warm serving benchmark and the
+# warm-start remapping benchmark), so none can rot unnoticed.
 bench-smoke:
 	$(GO) test -bench Refine -benchtime 10x -run '^$$' ./internal/schedule/
 	$(GO) run ./cmd/mapbench -refinebench -bench-quick
 	$(GO) run ./cmd/mapbench -searchbench -bench-quick
 	$(GO) run ./cmd/mapbench -servebench -bench-quick
+	$(GO) run ./cmd/mapbench -remapbench -bench-quick
 
 # Short fuzzing pass so the checked-in fuzzers actually run in CI instead
 # of only replaying their corpus seeds: ~10s each on the text-format
-# parser and the server's request decoding/solve path.
+# parser and the server's request decoding/solve and remap paths.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseProblem$$' -fuzztime 10s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz '^FuzzSolveRequest$$' -fuzztime 10s ./cmd/mapserve/
+	$(GO) test -run '^$$' -fuzz '^FuzzRemapRequest$$' -fuzztime 10s ./cmd/mapserve/
 
 ci: build vet lint test race bench-smoke fuzz-smoke
 

@@ -19,6 +19,9 @@
 //	mapbench -servebench -bench-out BENCH_serve.json
 //	                             # measure the service layer's cold-vs-warm
 //	                             # serving throughput
+//	mapbench -remapbench -bench-out BENCH_serve.json
+//	                             # measure warm-start remapping vs cold
+//	                             # re-solving on perturbed workloads
 //
 // Independent experiments fan out across -workers goroutines; the output
 // is byte-identical at any worker count because every instance derives its
@@ -62,6 +65,7 @@ type benchFlags struct {
 	refinebench bool
 	searchbench bool
 	servebench  bool
+	remapbench  bool
 	benchOut    string
 	benchLabel  string
 	benchQuick  bool
@@ -87,9 +91,10 @@ func parseFlags(args []string) (benchFlags, error) {
 		refine     = fs.Bool("refinebench", false, "run only the refinement hot-path benchmark (batched swap trials on Table 1-3 style workloads)")
 		searchb    = fs.Bool("searchbench", false, "run only the search-strategy benchmark (trials/sec of every registered refiner; see -bench-out)")
 		serveb     = fs.Bool("servebench", false, "run only the serving-throughput benchmark (cold vs warm solves/sec of the service layer; see -bench-out)")
-		benchOut   = fs.String("bench-out", "", "with -refinebench/-searchbench/-servebench: append the measured entry to this JSON trajectory file (e.g. BENCH_refine.json, BENCH_search.json, BENCH_serve.json); empty = print only")
-		benchLabel = fs.String("bench-label", "", "with -refinebench/-searchbench/-servebench: label of the recorded entry (default \"current\")")
-		benchQuick = fs.Bool("bench-quick", false, "with -refinebench/-searchbench/-servebench: fast single-pass measurement for CI smoke tests")
+		remapb     = fs.Bool("remapbench", false, "run only the remapping benchmark (warm-start vs cold re-solve on perturbed workloads; see -bench-out)")
+		benchOut   = fs.String("bench-out", "", "with -refinebench/-searchbench/-servebench/-remapbench: append the measured entry to this JSON trajectory file (e.g. BENCH_refine.json, BENCH_search.json, BENCH_serve.json); empty = print only")
+		benchLabel = fs.String("bench-label", "", "with -refinebench/-searchbench/-servebench/-remapbench: label of the recorded entry (default \"current\")")
+		benchQuick = fs.Bool("bench-quick", false, "with -refinebench/-searchbench/-servebench/-remapbench: fast single-pass measurement for CI smoke tests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return benchFlags{}, err
@@ -113,6 +118,7 @@ func parseFlags(args []string) (benchFlags, error) {
 		refinebench: *refine,
 		searchbench: *searchb,
 		servebench:  *serveb,
+		remapbench:  *remapb,
 		benchOut:    *benchOut,
 		benchLabel:  *benchLabel,
 		benchQuick:  *benchQuick,
@@ -140,6 +146,9 @@ func report(f benchFlags, w io.Writer) error {
 	}
 	if f.servebench {
 		return serveBenchReport(w, cfg.MasterSeed, f.benchLabel, f.benchOut, f.benchQuick)
+	}
+	if f.remapbench {
+		return remapBenchReport(w, cfg.MasterSeed, f.benchLabel, f.benchOut, f.benchQuick)
 	}
 	all := f.table == 0 && f.fig == "" && !f.ablation && !f.extension && !f.sweep
 

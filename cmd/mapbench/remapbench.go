@@ -1,0 +1,49 @@
+package main
+
+// The -remapbench mode measures the online-remapping reuse path: the
+// staged pipeline solving perturbed Table 1–3 instances cold (multi-start,
+// from the paper's initial assignment) versus warm (one chain seeded with
+// the previous solution projected across the structural delta, via
+// service.Remap). Entries land in the same BENCH_serve.json trajectory as
+// -servebench, under the "remap" key.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"mimdmap/internal/experiment"
+)
+
+// remapBenchReport runs the harness and appends one labelled entry to the
+// JSON trajectory at outPath ("" prints to w only). quick runs the short
+// CI smoke pass instead of the recorded measurement.
+func remapBenchReport(w io.Writer, seed int64, label, outPath string, quick bool) error {
+	if label == "" {
+		label = "current"
+	}
+	workloads, err := experiment.RemapThroughput(experiment.Config{MasterSeed: seed}, quick)
+	if err != nil {
+		return err
+	}
+	entry := serveEntry{
+		Label:     label,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Remap:     workloads,
+	}
+	fmt.Fprintf(w, "=== Remapping benchmark: warm-start vs cold on perturbed workloads (%s) ===\n", label)
+	fmt.Fprintf(w, "%-22s %6s %4s %11s %14s %14s %9s %6s %6s %6s\n",
+		"workload", "np", "ns", "similarity", "cold solves/s", "warm solves/s", "speedup", "cold", "warm", "incumb")
+	for _, wl := range workloads {
+		fmt.Fprintf(w, "%-22s %6d %4d %11.3f %14.1f %14.1f %8.2fx %6d %6d %6d\n",
+			wl.Name, wl.NP, wl.NS, wl.Similarity,
+			wl.ColdSolvesPerSec, wl.WarmSolvesPerSec, wl.Speedup,
+			wl.ColdTotalTime, wl.WarmTotalTime, wl.IncumbentTotalTime)
+	}
+	if outPath == "" {
+		return nil
+	}
+	return appendServeEntry(w, outPath, entry)
+}

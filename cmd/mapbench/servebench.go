@@ -18,12 +18,14 @@ import (
 	"mimdmap/internal/experiment"
 )
 
-// serveEntry is one labelled benchmark run.
+// serveEntry is one labelled benchmark run: a -servebench measurement
+// (Workloads), a -remapbench measurement (Remap), or both.
 type serveEntry struct {
 	Label     string                     `json:"label"`
 	Date      string                     `json:"date"`
 	GoVersion string                     `json:"go_version"`
-	Workloads []experiment.ServeWorkload `json:"workloads"`
+	Workloads []experiment.ServeWorkload `json:"workloads,omitempty"`
+	Remap     []experiment.RemapWorkload `json:"remap,omitempty"`
 }
 
 // serveFile is the on-disk shape of BENCH_serve.json.
@@ -58,8 +60,14 @@ func serveBenchReport(w io.Writer, seed int64, label, outPath string, quick bool
 	if outPath == "" {
 		return nil
 	}
+	return appendServeEntry(w, outPath, entry)
+}
+
+// appendServeEntry appends one labelled entry to the BENCH_serve.json
+// trajectory at outPath, creating the file if needed.
+func appendServeEntry(w io.Writer, outPath string, entry serveEntry) error {
 	file := serveFile{
-		Description: "Serving-throughput trajectory: cold (NoCache, full staged pipeline) vs warm (response-cache replay) solves/sec of the service layer on Table 1–3 style workloads. Regenerate with `make bench-serve`.",
+		Description: "Serving-throughput trajectory: cold (NoCache, full staged pipeline) vs warm (response-cache replay) solves/sec of the service layer on Table 1–3 style workloads, plus warm-start remapping (`remap` entries: cold multi-start vs incumbent-seeded Remap on perturbed instances). Regenerate with `make bench-serve` / `make bench-remap`.",
 	}
 	if data, err := os.ReadFile(outPath); err == nil {
 		if err := json.Unmarshal(data, &file); err != nil {
@@ -76,6 +84,6 @@ func serveBenchReport(w io.Writer, seed int64, label, outPath string, quick bool
 	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "recorded entry %q in %s (%d entries)\n", label, outPath, len(file.Entries))
+	fmt.Fprintf(w, "recorded entry %q in %s (%d entries)\n", entry.Label, outPath, len(file.Entries))
 	return nil
 }

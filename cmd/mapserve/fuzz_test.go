@@ -79,3 +79,67 @@ func FuzzSolveRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRemapRequest fuzzes POST /remap's wire format the same way: any body
+// the decode step accepts must round-trip — marshal → decode yields the
+// identical wire struct, and rebuilding the previous solution from either
+// copy succeeds with equal graphs and assignment — and no body, however
+// mangled, may panic the decode/convert path.
+func FuzzRemapRequest(f *testing.F) {
+	seeds := []string{
+		`{"problem": "problem 3\ntask 0 3\ntask 1 4\ntask 2 1\nedge 0 1 2\nedge 0 2 1\n",
+		  "topology": "ring-2", "clusterer": "blocks",
+		  "prev_problem": "problem 2\ntask 0 3\ntask 1 4\nedge 0 1 2\n",
+		  "prev_topology": "ring-2", "prev_assignment": [1, 0]}`,
+		`{"problem": "problem 1\ntask 0 2\n", "system": "system 2\nlink 0 1\n", "clusterer": "random",
+		  "prev_problem": "problem 1\ntask 0 2\n", "prev_system": "system 2\nlink 0 1\n",
+		  "prev_assignment": [0, 1], "seed": 7}`,
+		`{"prev_problem": "", "prev_assignment": []}`,
+		`{"prev_problem": "problem 1\ntask 0 1\n", "prev_topology": "chain-2", "prev_system": "system 2\nlink 0 1\n"}`,
+		`{"prev_problem": "problem 1\ntask 0 1\n", "prev_topology": "random-4", "prev_assignment": [3, 1, 2, 0]}`,
+		`{"prev_assignment": [-1, 9223372036854775807]}`,
+		`{}`,
+	}
+	for _, seed := range seeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		dec := json.NewDecoder(strings.NewReader(in))
+		dec.DisallowUnknownFields()
+		var wire remapRequest
+		if err := dec.Decode(&wire); err != nil {
+			return // rejected bodies just must not panic
+		}
+		prev, err := toPrevResponse(&wire)
+		if err != nil {
+			return // wire-level rejections are fine; they become 400s
+		}
+		if _, err := toRequest(&wire.solveRequest, 0); err != nil {
+			return
+		}
+		out, err := json.Marshal(&wire)
+		if err != nil {
+			t.Fatalf("accepted wire request does not marshal: %v", err)
+		}
+		var again remapRequest
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("marshalled wire request does not re-parse: %v\nwire: %s", err, out)
+		}
+		if !reflect.DeepEqual(wire, again) {
+			t.Fatalf("wire round trip changed the request:\nin:  %+v\nout: %+v", wire, again)
+		}
+		prev2, err := toPrevResponse(&again)
+		if err != nil {
+			t.Fatalf("round-tripped wire request no longer converts: %v", err)
+		}
+		if !prev.Problem.Equal(prev2.Problem) {
+			t.Fatal("round trip changed the previous problem")
+		}
+		if !prev.System.Equal(prev2.System) || prev.System.Name != prev2.System.Name {
+			t.Fatal("round trip changed the previous system")
+		}
+		if !reflect.DeepEqual(prev.Result.Assignment.ProcOf, prev2.Result.Assignment.ProcOf) {
+			t.Fatal("round trip changed the previous assignment")
+		}
+	})
+}

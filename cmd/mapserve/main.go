@@ -17,6 +17,8 @@
 // Endpoints:
 //
 //	POST /solve       solve one mapping request (JSON in, JSON out)
+//	POST /remap       re-solve a changed instance, warm-started from a
+//	                  previous solution (prev_* fields; see below)
 //	POST /jobs        submit an async job — one request, or a batch as
 //	                  {"requests": [...]} — and get a job id back (202)
 //	GET  /jobs/{id}   job state and, once finished, its result(s)
@@ -31,10 +33,21 @@
 //	{"problem": "...", "topology": "mesh-4x4", "clusterer": "random",
 //	 "seed": 7, "starts": 4}
 //
+// A /remap request is a /solve request for the evolved instance plus the
+// previous solution: "prev_problem" (text format), the previous machine as
+// "prev_system" or "prev_topology" (exactly one), and "prev_assignment"
+// (the assignment array of the earlier response). The server diffs the two
+// instances and, when similar enough, warm-starts refinement from the
+// previous assignment projected across the delta; "warm_start" in the
+// response reports whether that happened and "similarity" scores the
+// delta. A seed-dependent "prev_topology" spec (random-N) is resolved with
+// this request's seed — a machine solved under a different seed must
+// travel as "prev_system" text instead.
+//
 // Responses carry only deterministic fields — wall-clock timing travels in
 // the X-Solve-Duration header, and whether the response was replayed from
-// the solver's cache in the X-Cache header ("hit" or "miss"), so neither
-// perturbs the payload. "no_cache": true forces a full execution. Totals,
+// the solver's cache in the X-Cache header ("hit", "coalesced", "warm" or
+// "miss"), so neither perturbs the payload. "no_cache": true forces a full execution. Totals,
 // bound, and the optimality verdict are reproducible for a fixed request
 // body; the full body is byte-identical across clients except in one
 // corner: a multi-start request ("starts" > 1) where several chains prove
@@ -54,6 +67,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -177,6 +191,20 @@ type jobRequest struct {
 	Requests []solveRequest `json:"requests,omitempty"`
 }
 
+// remapRequest is the wire form of POST /remap: a solveRequest describing
+// the evolved instance plus the previous solution to warm-start from.
+type remapRequest struct {
+	solveRequest
+	// PrevProblem is the previously solved task DAG, text format. Required.
+	PrevProblem string `json:"prev_problem"`
+	// PrevSystem (text format) or PrevTopology (spec) names the machine the
+	// previous solution ran on; exactly one must be set.
+	PrevSystem   string `json:"prev_system,omitempty"`
+	PrevTopology string `json:"prev_topology,omitempty"`
+	// PrevAssignment is the assignment array of the previous response.
+	PrevAssignment []int `json:"prev_assignment"`
+}
+
 // solveResponse is the wire form of a solved mapping. It carries only
 // deterministic fields, so identical requests yield byte-identical bodies.
 type solveResponse struct {
@@ -192,8 +220,14 @@ type solveResponse struct {
 	Nodes            int    `json:"nodes"`
 	Clusterer        string `json:"clusterer,omitempty"`
 	Refiner          string `json:"refiner,omitempty"`
-	Start            []int  `json:"start"`
-	End              []int  `json:"end"`
+	// WarmStart reports that refinement started from a projected previous
+	// assignment (POST /remap), and Similarity the structural similarity
+	// between the previous and the requested instance (0 when identical or
+	// when the request was a plain solve).
+	WarmStart  bool    `json:"warm_start,omitempty"`
+	Similarity float64 `json:"similarity,omitempty"`
+	Start      []int   `json:"start"`
+	End        []int   `json:"end"`
 }
 
 type errorResponse struct {
@@ -299,27 +333,45 @@ func newHandler(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) h
 		began := time.Now()
 		resp, err := solver.Solve(r.Context(), req)
 		if err != nil {
-			var verr *mimdmap.ValidationError
-			if errors.As(err, &verr) {
-				writeError(w, http.StatusBadRequest, verr.Error())
-			} else {
-				writeError(w, http.StatusInternalServerError, err.Error())
-			}
+			writeSolveError(w, err)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Solve-Duration", time.Since(began).String())
-		switch {
-		case resp.Diagnostics.CacheHit:
-			w.Header().Set("X-Cache", "hit")
-		case resp.Diagnostics.Coalesced:
-			// Shared another caller's in-flight solve: not replayed from
-			// the cache, not solved by this request either.
-			w.Header().Set("X-Cache", "coalesced")
-		default:
-			w.Header().Set("X-Cache", "miss")
+		writeSolved(w, began, resp)
+	})
+	mux.HandleFunc("/remap", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
 		}
-		writeJSON(w, http.StatusOK, toWire(resp))
+		var wire remapRequest
+		if !decodeBody(w, r, &wire) {
+			return
+		}
+		prev, err := toPrevResponse(&wire)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		req, err := toRequest(&wire.solveRequest, cfg.workers)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, "cancelled while queued")
+			return
+		}
+
+		began := time.Now()
+		resp, err := solver.Remap(r.Context(), prev, req)
+		if err != nil {
+			writeSolveError(w, err)
+			return
+		}
+		writeSolved(w, began, resp)
 	})
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var wire jobRequest
@@ -349,6 +401,41 @@ func newHandler(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) h
 		writeJSON(w, http.StatusOK, status)
 	})
 	return mux
+}
+
+// writeSolveError maps a solver error onto the wire: validation failures
+// are the client's fault (400), anything else the server's (500).
+func writeSolveError(w http.ResponseWriter, err error) {
+	var verr *mimdmap.ValidationError
+	if errors.As(err, &verr) {
+		writeError(w, http.StatusBadRequest, verr.Error())
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+// writeSolved answers a successful solve or remap: timing in
+// X-Solve-Duration, how the response was produced in X-Cache — "hit"
+// (response-cache replay), "coalesced" (shared another caller's in-flight
+// execution), "warm" (solved here, refinement warm-started from a
+// projected previous assignment) or "miss" (solved here from scratch) —
+// and the deterministic payload as the body.
+func writeSolved(w http.ResponseWriter, began time.Time, resp *mimdmap.Response) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Solve-Duration", time.Since(began).String())
+	switch {
+	case resp.Diagnostics.CacheHit:
+		w.Header().Set("X-Cache", "hit")
+	case resp.Diagnostics.Coalesced:
+		// Shared another caller's in-flight solve: not replayed from
+		// the cache, not solved by this request either.
+		w.Header().Set("X-Cache", "coalesced")
+	case resp.Diagnostics.WarmStart:
+		w.Header().Set("X-Cache", "warm")
+	default:
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, toWire(resp))
 }
 
 // decodeBody is the wire layer's decode step: a bounded, strict JSON read
@@ -429,6 +516,47 @@ func toRequest(wire *solveRequest, workers int) (*mimdmap.Request, error) {
 	return req, nil
 }
 
+// toPrevResponse rebuilds the previous solution a /remap request names
+// from its wire fields — the seed Solver.Remap diffs the new request
+// against. Only the structural fields travel; schedule and diagnostics of
+// the original response are irrelevant to remapping.
+func toPrevResponse(wire *remapRequest) (*mimdmap.Response, error) {
+	if wire.PrevProblem == "" {
+		return nil, errors.New("prev_problem: required")
+	}
+	if (wire.PrevSystem == "") == (wire.PrevTopology == "") {
+		return nil, errors.New("exactly one of prev_system and prev_topology must be set")
+	}
+	p, err := mimdmap.ReadProblem(strings.NewReader(wire.PrevProblem))
+	if err != nil {
+		return nil, fmt.Errorf("prev_problem: %w", err)
+	}
+	var sys *mimdmap.System
+	if wire.PrevSystem != "" {
+		sys, err = mimdmap.ReadSystem(strings.NewReader(wire.PrevSystem))
+		if err != nil {
+			return nil, fmt.Errorf("prev_system: %w", err)
+		}
+	} else {
+		// Seed-dependent specs (random-N) resolve with this request's seed,
+		// mirroring the solver's own topology resolution; a machine solved
+		// under a different seed must travel as prev_system text.
+		seed := wire.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		sys, err = mimdmap.TopologyByName(wire.PrevTopology, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, fmt.Errorf("prev_topology: %w", err)
+		}
+	}
+	return &mimdmap.Response{
+		Problem: p,
+		System:  sys,
+		Result:  &mimdmap.Result{Assignment: mimdmap.FromPerm(wire.PrevAssignment)},
+	}, nil
+}
+
 // toWire projects a solver response onto the deterministic wire form.
 func toWire(resp *mimdmap.Response) *solveResponse {
 	return &solveResponse{
@@ -444,6 +572,8 @@ func toWire(resp *mimdmap.Response) *solveResponse {
 		Nodes:            resp.Diagnostics.Nodes,
 		Clusterer:        resp.Diagnostics.Clusterer,
 		Refiner:          resp.Diagnostics.Refiner,
+		WarmStart:        resp.Diagnostics.WarmStart,
+		Similarity:       resp.Diagnostics.Similarity,
 		Start:            resp.Schedule.Start,
 		End:              resp.Schedule.End,
 	}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mimdmap"
+)
+
+// postRemap sends one POST /remap body and returns status, X-Cache header
+// and body bytes.
+func postRemap(t *testing.T, url, body string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/remap", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Cache"), b
+}
+
+// problemText renders a problem in the wire text format.
+func problemText(t *testing.T, p *mimdmap.Problem) string {
+	t.Helper()
+	var text strings.Builder
+	if err := mimdmap.WriteProblem(&text, p); err != nil {
+		t.Fatal(err)
+	}
+	return text.String()
+}
+
+// remapFixture solves a base instance over the wire and returns the base
+// problem text, the solved assignment, and the text of a perturbed variant
+// of the problem (one task grown, same machine).
+func remapFixture(t *testing.T, url string) (base string, assignment []int, perturbed string) {
+	t.Helper()
+	base, prob := serveInstance(t)
+	status, body := postSolve(t, url, `{"problem": `+jsonString(t, base)+`, "topology": "mesh-2x3", "clusterer": "round-robin", "seed": 7}`)
+	if status != http.StatusOK {
+		t.Fatalf("base solve: status %d: %s", status, body)
+	}
+	var solved solveResponse
+	if err := json.Unmarshal(body, &solved); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := mimdmap.TopologyByName("mesh-2x3", rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut, err := mimdmap.Perturb(mimdmap.Instance{Problem: prob, System: sys}, mimdmap.PerturbSpec{GrowTasks: 1}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, solved.Assignment, problemText(t, mut.Problem)
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(t *testing.T, s string) string {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// remapBody builds a POST /remap body from the fixture pieces.
+func remapBody(t *testing.T, problem, prevProblem string, prevAssignment []int) string {
+	t.Helper()
+	b, err := json.Marshal(map[string]any{
+		"problem":         problem,
+		"topology":        "mesh-2x3",
+		"clusterer":       "round-robin",
+		"seed":            7,
+		"prev_problem":    prevProblem,
+		"prev_topology":   "mesh-2x3",
+		"prev_assignment": prevAssignment,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRemapEndpointWarmStart pins the endpoint's reuse path: a perturbed
+// instance remapped against the previous solution answers warm-started
+// (X-Cache "warm", warm_start true, similarity strictly inside (0,1)), a
+// repeat of the same body replays from the response cache as "hit", and
+// the warm mapping is never worse than its incumbent.
+func TestRemapEndpointWarmStart(t *testing.T) {
+	srv := newTestServer(t)
+	base, assignment, perturbed := remapFixture(t, srv.URL)
+
+	body := remapBody(t, perturbed, base, assignment)
+	status, cache, got := postRemap(t, srv.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	if cache != "warm" {
+		t.Fatalf("X-Cache = %q, want warm", cache)
+	}
+	var resp solveResponse
+	if err := json.Unmarshal(got, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.WarmStart {
+		t.Error("warm_start false on a warm-started remap")
+	}
+	if resp.Similarity <= 0 || resp.Similarity >= 1 {
+		t.Errorf("similarity %v outside (0,1)", resp.Similarity)
+	}
+	if resp.TotalTime > resp.InitialTotalTime {
+		t.Errorf("warm mapping %d worse than its incumbent %d", resp.TotalTime, resp.InitialTotalTime)
+	}
+
+	status, cache, replay := postRemap(t, srv.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("replay status %d: %s", status, replay)
+	}
+	if cache != "hit" {
+		t.Errorf("replay X-Cache = %q, want hit", cache)
+	}
+	if !bytes.Equal(replay, got) {
+		t.Errorf("replayed body differs from the warm solve:\n%s\nvs\n%s", replay, got)
+	}
+}
+
+// TestRemapEndpointZeroDelta pins the ladder's first rung over the wire:
+// remapping an unchanged instance is a plain solve — replayed from the
+// cache byte-identically to POST /solve on the same request.
+func TestRemapEndpointZeroDelta(t *testing.T) {
+	srv := newTestServer(t)
+	base, assignment, _ := remapFixture(t, srv.URL)
+
+	solveBody := `{"problem": ` + jsonString(t, base) + `, "topology": "mesh-2x3", "clusterer": "round-robin", "seed": 7}`
+	_, solved := postSolve(t, srv.URL, solveBody)
+
+	status, cache, got := postRemap(t, srv.URL, remapBody(t, base, base, assignment))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	if cache != "hit" {
+		t.Errorf("X-Cache = %q, want hit (zero delta replays the cached solve)", cache)
+	}
+	if !bytes.Equal(got, solved) {
+		t.Errorf("zero-delta remap body differs from the cached solve:\n%s\nvs\n%s", got, solved)
+	}
+}
+
+// TestRemapEndpointValidation walks the wire-layer rejections: every
+// malformed previous solution gets a 400 before any solve slot is taken.
+func TestRemapEndpointValidation(t *testing.T) {
+	srv := newTestServer(t)
+	base, assignment, perturbed := remapFixture(t, srv.URL)
+
+	short := assignment[:len(assignment)-1]
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"missing prev_problem", `{"problem": ` + jsonString(t, perturbed) + `, "topology": "mesh-2x3", "clusterer": "round-robin", "prev_topology": "mesh-2x3", "prev_assignment": [0,1,2,3,4,5]}`},
+		{"both prev machines", `{"problem": ` + jsonString(t, perturbed) + `, "topology": "mesh-2x3", "clusterer": "round-robin", "prev_problem": ` + jsonString(t, base) + `, "prev_topology": "mesh-2x3", "prev_system": "nodes 6\n", "prev_assignment": [0,1,2,3,4,5]}`},
+		{"no prev machine", `{"problem": ` + jsonString(t, perturbed) + `, "topology": "mesh-2x3", "clusterer": "round-robin", "prev_problem": ` + jsonString(t, base) + `, "prev_assignment": [0,1,2,3,4,5]}`},
+		{"short prev_assignment", remapBody(t, perturbed, base, short)},
+		{"unknown field", `{"problem": "x", "bogus": 1}`},
+		{"bad json", `{"problem": `},
+	}
+	for _, tc := range cases {
+		status, _, body := postRemap(t, srv.URL, tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, status, body)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/remap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /remap: status %d, want 405", resp.StatusCode)
+	}
+}

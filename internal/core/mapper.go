@@ -100,6 +100,17 @@ type Options struct {
 	// uses Rand, keeping single-start runs identical to the sequential
 	// path regardless of Seed.
 	Seed int64
+	// Incumbent warm-starts refinement from a known-good assignment — the
+	// online-remapping path, where a previous solution projected across a
+	// structural delta replaces the paper's §4.3.2 initial assignment. It
+	// must be a bijection of [0, K); New rejects anything else. With an
+	// incumbent no cluster is frozen (the incumbent's seats may contradict
+	// the critical-adjacency heuristic, so pinning would freeze wrong
+	// placements), and the run is guaranteed never to return a result worse
+	// than the incumbent itself: if the configured refiner ends worse
+	// (annealing can), the incumbent is restored. nil reproduces the
+	// paper's cold path exactly.
+	Incumbent *schedule.Assignment
 }
 
 // Result is the outcome of a mapping run.
@@ -179,6 +190,14 @@ func New(p *graph.Problem, c *graph.Clustering, s *graph.System, opts Options) (
 	if opts.Rand == nil {
 		opts.Rand = rand.New(rand.NewSource(1))
 	}
+	if inc := opts.Incumbent; inc != nil {
+		if inc.K() != c.K {
+			return nil, fmt.Errorf("core: incumbent covers %d clusters, instance has %d", inc.K(), c.K)
+		}
+		if err := inc.Validate(); err != nil {
+			return nil, fmt.Errorf("core: invalid incumbent: %w", err)
+		}
+	}
 	var dist *paths.Table
 	switch {
 	case opts.Delays != nil:
@@ -246,7 +265,18 @@ func (m *Mapper) analyse() (*Result, error) {
 	}
 	crit := critical.Analyze(m.prob, m.clus, ig, m.opts.Propagation)
 
-	assign, frozen := m.initialAssignment(crit)
+	var assign *schedule.Assignment
+	var frozen []bool
+	if inc := m.opts.Incumbent; inc != nil {
+		// Warm start: the projected previous solution replaces the §4.3.2
+		// initial assignment, and every cluster stays movable — the
+		// incumbent's seats need not respect the critical-adjacency
+		// heuristic, so freezing would pin arbitrary placements.
+		assign = schedule.FromPerm(inc.ProcOf)
+		frozen = make([]bool, m.clus.K)
+	} else {
+		assign, frozen = m.initialAssignment(crit)
+	}
 	res := &Result{
 		Assignment:     assign,
 		LowerBound:     ig.LowerBound,
@@ -304,6 +334,15 @@ func (m *Mapper) refine(ctx context.Context, rng *rand.Rand, ev *schedule.Evalua
 	if len(m.freeClusters) < 2 {
 		return // nothing can move
 	}
+	// Warm starts guarantee never-worse: snapshot the incumbent-derived
+	// state so a refiner that may end above its starting point (annealing)
+	// can be rolled back. Cold runs skip this entirely, keeping the paper
+	// path bit-identical to before the seam existed.
+	var snapshot []int
+	preTotal := res.TotalTime
+	if m.opts.Incumbent != nil {
+		snapshot = append([]int(nil), res.Assignment.ProcOf...)
+	}
 	sess := ev.NewSwapSession(res.Assignment)
 	trace := m.refiner().Refine(ctx, sess, search.Budget{
 		Trials:             budget,
@@ -319,6 +358,10 @@ func (m *Mapper) refine(ctx context.Context, rng *rand.Rand, ev *schedule.Evalua
 	res.Improved += trace.Improved
 	if trace.Totals != nil {
 		res.Trials = append(res.Trials, trace.Totals...)
+	}
+	if snapshot != nil && res.TotalTime > preTotal {
+		copy(res.Assignment.ProcOf, snapshot)
+		res.TotalTime = preTotal
 	}
 	res.OptimalProven = res.TotalTime == res.LowerBound
 }

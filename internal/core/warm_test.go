@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mimdmap/internal/schedule"
+	"mimdmap/internal/search"
+)
+
+func TestIncumbentReplacesInitialAssignment(t *testing.T) {
+	prob, clus, sys := refinableInstance(t, 11)
+	inc := schedule.NewAssignment(clus.K)
+	// A deliberately non-trivial permutation distinct from identity.
+	for k := range inc.ProcOf {
+		inc.ProcOf[k] = (k + 3) % clus.K
+	}
+	m, err := New(prob, clus, sys, Options{MaxRefinements: -1, Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Assignment.ProcOf, inc.ProcOf) {
+		t.Fatalf("refinement-free warm run = %v, want the incumbent %v", res.Assignment.ProcOf, inc.ProcOf)
+	}
+	if res.Assignment == inc || &res.Assignment.ProcOf[0] == &inc.ProcOf[0] {
+		t.Fatal("warm run aliased the incumbent instead of copying it")
+	}
+	for k, f := range res.FrozenClusters {
+		if f {
+			t.Fatalf("warm start froze cluster %d; all clusters must stay movable", k)
+		}
+	}
+	ev := m.Evaluator()
+	if res.InitialTotalTime != ev.TotalTime(inc) {
+		t.Fatalf("InitialTotalTime = %d, want the incumbent's cost %d", res.InitialTotalTime, ev.TotalTime(inc))
+	}
+}
+
+// TestIncumbentNeverWorse is the core of the warm-start guarantee: whatever
+// refiner runs — including annealing, which can end above its starting
+// point — the returned total time never exceeds the incumbent's.
+func TestIncumbentNeverWorse(t *testing.T) {
+	prob, clus, sys := refinableInstance(t, 23)
+	inc := schedule.NewAssignment(clus.K)
+	for _, name := range []string{"paper", "pairwise", "anneal", "full-reshuffle"} {
+		ref, err := search.RefinerByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(prob, clus, sys, Options{
+			Incumbent:      inc,
+			Refiner:        ref,
+			MaxRefinements: 64,
+			Rand:           rand.New(rand.NewSource(9)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalTime > res.InitialTotalTime {
+			t.Errorf("%s: warm result %d worse than incumbent %d", name, res.TotalTime, res.InitialTotalTime)
+		}
+		if err := res.Assignment.Validate(); err != nil {
+			t.Errorf("%s: warm assignment invalid: %v", name, err)
+		}
+	}
+}
+
+func TestIncumbentParallelChainsNeverWorse(t *testing.T) {
+	prob, clus, sys := refinableInstance(t, 31)
+	inc := schedule.NewAssignment(clus.K)
+	m, err := New(prob, clus, sys, Options{
+		Incumbent:          inc,
+		Starts:             4,
+		Workers:            2,
+		MaxRefinements:     48,
+		DisableTermination: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunParallel(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime > res.InitialTotalTime {
+		t.Fatalf("multi-start warm result %d worse than incumbent %d", res.TotalTime, res.InitialTotalTime)
+	}
+}
+
+func TestIncumbentValidation(t *testing.T) {
+	prob, clus, sys := refinableInstance(t, 41)
+	cases := map[string]*schedule.Assignment{
+		"short":        schedule.NewAssignment(clus.K - 1),
+		"long":         schedule.NewAssignment(clus.K + 1),
+		"out-of-range": schedule.FromPerm(append(make([]int, clus.K-1), clus.K+5)),
+		"duplicate":    schedule.FromPerm(make([]int, clus.K)),
+	}
+	for name, inc := range cases {
+		if _, err := New(prob, clus, sys, Options{Incumbent: inc}); err == nil {
+			t.Errorf("%s incumbent unexpectedly accepted", name)
+		}
+	}
+}
+
+// TestColdPathUnchangedByIncumbentSeam pins that a nil incumbent still
+// produces exactly the historical result (the seam must not perturb the
+// paper path's random stream or rollback behaviour).
+func TestColdPathUnchangedByIncumbentSeam(t *testing.T) {
+	prob, clus, sys := refinableInstance(t, 53)
+	run := func() *Result {
+		m, err := New(prob, clus, sys, Options{Rand: rand.New(rand.NewSource(4))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalTime != b.TotalTime || !reflect.DeepEqual(a.Assignment.ProcOf, b.Assignment.ProcOf) {
+		t.Fatalf("cold path not reproducible: %d/%v vs %d/%v", a.TotalTime, a.Assignment.ProcOf, b.TotalTime, b.Assignment.ProcOf)
+	}
+}

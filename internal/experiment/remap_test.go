@@ -1,0 +1,47 @@
+package experiment
+
+import "testing"
+
+// TestRemapThroughputQuick runs the quick harness end-to-end and pins the
+// invariants the recorded BENCH_serve.json remap entries rely on: every
+// workload measured, warm starts actually warm, rates positive, and the
+// warm mapping never worse than its incumbent.
+func TestRemapThroughputQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remap throughput harness is a timing loop")
+	}
+	rows, err := RemapThroughput(Config{Workers: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("measured %d workloads, want 3", len(rows))
+	}
+	for _, wl := range rows {
+		if wl.ColdSolvesPerSec <= 0 || wl.WarmSolvesPerSec <= 0 {
+			t.Errorf("%s: non-positive rates %+v", wl.Name, wl)
+		}
+		if wl.Similarity <= 0.5 || wl.Similarity >= 1 {
+			t.Errorf("%s: similarity %v outside the warm-start band", wl.Name, wl.Similarity)
+		}
+		if wl.WarmTotalTime > wl.IncumbentTotalTime {
+			t.Errorf("%s: warm mapping %d worse than its incumbent %d", wl.Name, wl.WarmTotalTime, wl.IncumbentTotalTime)
+		}
+		if wl.NP <= 0 || wl.NS <= 0 {
+			t.Errorf("%s: empty instance shape %+v", wl.Name, wl)
+		}
+	}
+}
+
+// TestRemapPerturbationsCoverMachineDelta pins that at least one bench
+// workload perturbs the machine itself, keeping the processors-gained
+// projection path exercised by every bench run.
+func TestRemapPerturbationsCoverMachineDelta(t *testing.T) {
+	procs := 0
+	for _, spec := range remapPerturbations() {
+		procs += spec.AddProcs + spec.DropProcs
+	}
+	if procs == 0 {
+		t.Fatal("no bench perturbation touches the machine")
+	}
+}

@@ -1,0 +1,167 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"mimdmap/internal/graph"
+)
+
+func perturbBase(t *testing.T) Instance {
+	t.Helper()
+	prob, _, err := TableInstance(16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := graph.NewSystem(16)
+	for i := 0; i < 16; i++ {
+		sys.AddLink(i, (i+1)%16)
+	}
+	return Instance{Problem: prob, System: sys}
+}
+
+func instanceBytes(t *testing.T, inst Instance) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteProblem(&buf, inst.Problem); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteSystem(&buf, inst.System); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+var perturbAllSpec = PerturbSpec{
+	GrowTasks:     3,
+	ShrinkTasks:   2,
+	ResizeTasks:   0.25,
+	ReweightEdges: 0.25,
+	AddProcs:      2,
+	DropProcs:     1,
+}
+
+// TestPerturbDeterministic pins the generator's contract: one
+// (instance, spec, seed) triple produces one byte-identical mutant, and
+// the seed actually matters.
+func TestPerturbDeterministic(t *testing.T) {
+	base := perturbBase(t)
+	a, err := Perturb(base, perturbAllSpec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Perturb(base, perturbAllSpec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(instanceBytes(t, a), instanceBytes(t, b)) {
+		t.Fatal("same (instance, spec, seed) produced different mutants")
+	}
+	c, err := Perturb(base, perturbAllSpec, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(instanceBytes(t, a), instanceBytes(t, c)) {
+		t.Fatal("different seeds produced byte-identical mutants")
+	}
+}
+
+func TestPerturbLeavesInputUntouched(t *testing.T) {
+	base := perturbBase(t)
+	before := instanceBytes(t, base)
+	if _, err := Perturb(base, perturbAllSpec, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, instanceBytes(t, base)) {
+		t.Fatal("Perturb mutated its input instance")
+	}
+}
+
+func TestPerturbZeroSpecIsDeepCopy(t *testing.T) {
+	base := perturbBase(t)
+	out, err := Perturb(base, PerturbSpec{}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Problem.Equal(base.Problem) || !out.System.Equal(base.System) {
+		t.Fatal("zero spec changed the instance")
+	}
+	if out.Problem == base.Problem || out.System == base.System {
+		t.Fatal("zero spec aliased the input instead of copying it")
+	}
+	if d := graph.Diff(base.Problem, out.Problem, base.System, out.System); !d.Zero() {
+		t.Fatalf("zero spec diffs non-zero: %v", d)
+	}
+}
+
+// TestPerturbShapesMatchSpec checks that the structural deltas the
+// generator promises are exactly the ones graph.Diff observes.
+func TestPerturbShapesMatchSpec(t *testing.T) {
+	base := perturbBase(t)
+	np, ns := base.Problem.NumTasks(), base.System.NumNodes()
+	out, err := Perturb(base, perturbAllSpec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNP := np - perturbAllSpec.ShrinkTasks + perturbAllSpec.GrowTasks
+	wantNS := ns - perturbAllSpec.DropProcs + perturbAllSpec.AddProcs
+	if out.Problem.NumTasks() != wantNP {
+		t.Fatalf("mutant has %d tasks, want %d", out.Problem.NumTasks(), wantNP)
+	}
+	if out.System.NumNodes() != wantNS {
+		t.Fatalf("mutant has %d processors, want %d", out.System.NumNodes(), wantNS)
+	}
+	// Index-aligned diffing sees only the *net* tail growth as added tasks:
+	// shrink drops the tail and grow re-appends it, so 2 of the 3 grown
+	// tasks reuse freed IDs and appear as in-place changes.
+	d := graph.Diff(base.Problem, out.Problem, base.System, out.System)
+	net := perturbAllSpec.GrowTasks - perturbAllSpec.ShrinkTasks
+	if len(d.TasksAdded) != net || len(d.TasksRemoved) != 0 {
+		t.Fatalf("tasks added/removed = %v/%v, want net +%d", d.TasksAdded, d.TasksRemoved, net)
+	}
+	if len(d.ProcsGained) != perturbAllSpec.AddProcs-perturbAllSpec.DropProcs {
+		t.Fatalf("procs gained = %v, want net %d", d.ProcsGained, perturbAllSpec.AddProcs-perturbAllSpec.DropProcs)
+	}
+	if sim := d.Similarity(); sim <= 0.3 || sim >= 1 {
+		t.Fatalf("perturbed similarity = %v, want a near-identical instance", sim)
+	}
+}
+
+// TestPerturbSurvivesHeavyProcessorLoss exercises the connectivity repair:
+// dropping most of a ring machine strands segments, which must be
+// deterministically re-linked so the mutant still validates.
+func TestPerturbSurvivesHeavyProcessorLoss(t *testing.T) {
+	base := perturbBase(t)
+	out, err := Perturb(base, PerturbSpec{DropProcs: 13}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.System.NumNodes() != 3 {
+		t.Fatalf("mutant has %d processors, want 3", out.System.NumNodes())
+	}
+	if err := out.System.Validate(); err != nil {
+		t.Fatalf("repaired system invalid: %v", err)
+	}
+}
+
+func TestPerturbRejectsBadSpecs(t *testing.T) {
+	base := perturbBase(t)
+	bad := []PerturbSpec{
+		{GrowTasks: -1},
+		{ReweightEdges: 1.5},
+		{ResizeTasks: -0.1},
+		{ShrinkTasks: base.Problem.NumTasks()},
+		{DropProcs: base.System.NumNodes() - 1},
+		{MinTaskSize: 5, MaxTaskSize: 2},
+		{MinEdgeWeight: 4, MaxEdgeWeight: 1},
+		{MaxNewEdges: -2},
+	}
+	for i, spec := range bad {
+		if _, err := Perturb(base, spec, 1); err == nil {
+			t.Errorf("spec %d (%+v) unexpectedly accepted", i, spec)
+		}
+	}
+	if _, err := Perturb(Instance{}, PerturbSpec{}, 1); err == nil {
+		t.Error("nil instance unexpectedly accepted")
+	}
+}

@@ -1,8 +1,12 @@
 // Package gen produces problem graphs: the seeded random task DAGs of the
-// paper's experiments (§5) and several structured workload families
+// paper's experiments (§5), several structured workload families
 // (pipelines, fork-join, FFT butterflies, Gaussian elimination, wavefront
 // stencils, divide-and-conquer trees) of the kind the paper's introduction
-// motivates. All generators are deterministic given their *rand.Rand.
+// motivates, and the seeded structural perturbations (Perturb) the online
+// remapping harness evolves instances with. All generators are
+// deterministic given their *rand.Rand or seed.
+//
+//mapcheck:deterministic
 package gen
 
 import (

@@ -154,7 +154,9 @@ func (st *solveState) canonicalize(context.Context) error {
 // absent — SolveBatch and multi-start output are worker-count independent,
 // so concurrency knobs must not split cache entries.
 func canonicalKey(req *Request, seed int64) string {
-	h := graph.NewHasher("mimdmap/request/v1")
+	// v2: the fingerprint gained the Options.Incumbent fold below — the
+	// domain tag is bumped per the stability contract in graph/fingerprint.go.
+	h := graph.NewHasher("mimdmap/request/v2")
 	h.Fold(req.Problem.Fingerprint())
 	if req.System != nil {
 		h.Bool(true)
@@ -189,6 +191,12 @@ func canonicalKey(req *Request, seed int64) string {
 	if o.Dist != nil {
 		h.Bool(true)
 		h.Matrix(o.Dist.Dist)
+	} else {
+		h.Bool(false)
+	}
+	if o.Incumbent != nil {
+		h.Bool(true)
+		h.Ints(o.Incumbent.ProcOf)
 	} else {
 		h.Bool(false)
 	}
@@ -296,6 +304,7 @@ func (st *solveState) execute(ctx context.Context) error {
 func (st *solveState) publish(ctx context.Context) error {
 	resp := &Response{
 		Result:     st.result,
+		Problem:    st.req.Problem,
 		Schedule:   st.sched,
 		System:     st.sys,
 		Clustering: st.clus,
@@ -305,6 +314,7 @@ func (st *solveState) publish(ctx context.Context) error {
 			Clusterer:      st.clusName,
 			Refiner:        st.req.Refiner,
 			DistanceCached: st.distCached,
+			WarmStart:      st.req.Options.Incumbent != nil,
 		},
 		Elapsed: st.solver.now().Sub(st.began),
 	}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"context"
+
+	"mimdmap/internal/graph"
+	"mimdmap/internal/schedule"
+)
+
+// Online remapping. Production mapping traffic is dominated by
+// near-identical requests — a task graph that grew two nodes, a machine
+// that lost a processor — which the paper's one-shot strategy re-solves
+// from scratch. Remap is the reuse path: it diffs the new request against
+// a previous response (graph.Diff), and when the instances are similar
+// enough, projects the previous assignment onto the new instance
+// (graph.ProjectAssignment — surviving seats kept, seats on lost
+// processors evicted, gained processors seated fresh) and hands it to the
+// solve pipeline as Options.Incumbent, so refinement starts from a
+// known-good mapping instead of the paper's §4.3.2 initial assignment.
+//
+// The decision ladder, in order:
+//
+//	zero delta    → the instance did not change: plain Solve, which the
+//	                response cache replays byte-identically
+//	low similarity→ too much changed for the old mapping to be worth
+//	                carrying over: plain cold Solve
+//	otherwise     → warm start; Diagnostics.WarmStart reports it and the
+//	                core seam guarantees the result is never worse than
+//	                the projected incumbent
+//
+// Warm requests flow through the full staged pipeline: the incumbent is
+// part of the canonical fingerprint, so identical concurrent Remaps
+// coalesce onto one execution and repeats replay from the response cache.
+
+// DefaultMinWarmSimilarity is the warm-start threshold when
+// Solver.MinWarmSimilarity is zero: instances must share at least half
+// their structure for the previous assignment to seed refinement.
+const DefaultMinWarmSimilarity = 0.5
+
+// Remap solves req, reusing prev — a Response from an earlier Solve or
+// Remap on this or any solver — as the warm-start seed when the two
+// instances are structurally similar. The request must name its machine
+// the same way any Solve request does; Options.Incumbent must be nil (Remap
+// owns that seam). prev must carry its Problem, System and Result — true
+// for every pipeline-produced Response — and its assignment must be a
+// bijection, else the call fails with a *ValidationError.
+//
+// The returned response is the caller's own copy; Diagnostics.Similarity
+// records the delta score whenever the delta was non-zero, and
+// Diagnostics.WarmStart reports truthfully whether refinement started from
+// the projected incumbent.
+func (s *Solver) Remap(ctx context.Context, prev *Response, req *Request) (*Response, error) {
+	s.init()
+	s.remaps.Add(1)
+	if verr := validatePrev(prev); verr != nil {
+		return nil, verr
+	}
+	if req != nil && req.Options.Incumbent != nil {
+		return nil, &ValidationError{Field: "Options.Incumbent", Msg: "Remap derives the incumbent; set prev instead"}
+	}
+	if verr := validate(req); verr != nil {
+		return nil, verr
+	}
+	sys, err := s.resolveSystem(req, effectiveSeed(req))
+	if err != nil {
+		return nil, err
+	}
+	d := graph.Diff(prev.Problem, req.Problem, prev.System, sys)
+	if d.Zero() {
+		// Structurally identical: the plain pipeline answers, replaying
+		// from the response cache when possible — byte-identical to any
+		// other cache hit on the same request.
+		return s.Solve(ctx, req)
+	}
+	sim := d.Similarity()
+	threshold := s.MinWarmSimilarity
+	if threshold == 0 {
+		threshold = DefaultMinWarmSimilarity
+	}
+	if sim < threshold {
+		resp, err := s.Solve(ctx, req)
+		return annotated(resp, sim), err
+	}
+	proj, _, err := graph.ProjectAssignment(prev.Result.Assignment.ProcOf, sys.NumNodes())
+	if err != nil {
+		return nil, &ValidationError{Field: "Prev", Msg: "assignment projection failed", Err: err}
+	}
+	warm := *req
+	warm.Options.Incumbent = schedule.FromPerm(proj)
+	s.warmStarts.Add(1)
+	resp, err := s.Solve(ctx, &warm)
+	return annotated(resp, sim), err
+}
+
+// annotated stamps the delta's similarity score onto the caller's copy of
+// a response. Cold executions hand back the same pointer that entered the
+// response cache, so the stamp goes on a shallow copy — the cached entry
+// stays pristine for plain Solve hits.
+func annotated(resp *Response, sim float64) *Response {
+	if resp == nil {
+		return nil
+	}
+	out := *resp
+	out.Diagnostics.Similarity = sim
+	return &out
+}
+
+// validatePrev checks that a previous response is usable as a remap seed.
+func validatePrev(prev *Response) *ValidationError {
+	switch {
+	case prev == nil:
+		return &ValidationError{Field: "Prev", Msg: "a previous response is required"}
+	case prev.Problem == nil:
+		return &ValidationError{Field: "Prev", Msg: "previous response carries no problem graph"}
+	case prev.System == nil:
+		return &ValidationError{Field: "Prev", Msg: "previous response carries no system graph"}
+	case prev.Result == nil || prev.Result.Assignment == nil:
+		return &ValidationError{Field: "Prev", Msg: "previous response carries no assignment"}
+	}
+	a := prev.Result.Assignment
+	if a.K() != prev.System.NumNodes() {
+		return &ValidationError{Field: "Prev", Msg: "previous assignment does not cover its machine"}
+	}
+	if err := a.Validate(); err != nil {
+		return &ValidationError{Field: "Prev", Msg: "previous assignment is not a bijection", Err: err}
+	}
+	return nil
+}

@@ -1,0 +1,395 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mimdmap/internal/gen"
+	"mimdmap/internal/graph"
+	"mimdmap/internal/topology"
+)
+
+// remapBase solves a perturbable base instance and returns both the solver
+// and the previous response subsequent Remaps build on.
+func remapBase(t *testing.T, s *Solver) (*Response, *Request) {
+	t.Helper()
+	prob, _, err := gen.TableInstance(8, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Problem: prob, Topology: "hypercube-3", Clusterer: "load-balance", Seed: 41}
+	prev, err := s.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prev, req
+}
+
+// perturbedRequest mutates the base instance with the given spec and
+// returns the remap request for the mutant (machine passed explicitly so
+// processor-count deltas are expressible).
+func perturbedRequest(t *testing.T, prev *Response, spec gen.PerturbSpec, seed int64) *Request {
+	t.Helper()
+	mut, err := gen.Perturb(gen.Instance{Problem: prev.Problem, System: prev.System}, spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Request{Problem: mut.Problem, System: mut.System, Clusterer: "load-balance", Seed: 41}
+}
+
+// TestRemapZeroDeltaIsByteIdenticalToCacheHit is metamorphic property (a):
+// remapping an unchanged instance degenerates to a plain solve, replayed
+// from the response cache byte-identically.
+func TestRemapZeroDeltaIsByteIdenticalToCacheHit(t *testing.T) {
+	var s Solver
+	prev, req := remapBase(t, &s)
+
+	hit, err := s.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Diagnostics.CacheHit {
+		t.Fatal("identical solve did not hit the response cache")
+	}
+	remapped, err := s.Remap(context.Background(), prev, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !remapped.Diagnostics.CacheHit {
+		t.Fatal("zero-delta remap did not replay from the response cache")
+	}
+	if remapped.Diagnostics.WarmStart {
+		t.Fatal("zero-delta remap claims a warm start")
+	}
+	if remapped.Diagnostics.Similarity != 0 {
+		t.Fatal("zero-delta remap stamped a similarity score; it must be indistinguishable from a plain solve")
+	}
+	if got, want := normalizedJSON(t, remapped), normalizedJSON(t, hit); string(got) != string(want) {
+		t.Fatalf("zero-delta remap differs from a cache hit:\nhit:   %s\nremap: %s", want, got)
+	}
+	if remapped.Result != hit.Result {
+		t.Fatal("zero-delta remap does not share the cached result")
+	}
+	st := s.Stats()
+	if st.Remaps != 1 || st.WarmStarts != 0 {
+		t.Fatalf("stats = %d remaps / %d warm starts, want 1/0", st.Remaps, st.WarmStarts)
+	}
+}
+
+// TestRemapWarmStartNeverWorseThanIncumbent is metamorphic property (b):
+// whatever the refiner does, a warm-started result never costs more than
+// the projected incumbent it started from.
+func TestRemapWarmStartNeverWorseThanIncumbent(t *testing.T) {
+	spec := gen.PerturbSpec{GrowTasks: 2, ReweightEdges: 0.2, ResizeTasks: 0.1}
+	for _, refiner := range []string{"", "paper", "pairwise", "anneal"} {
+		var s Solver
+		prev, _ := remapBase(t, &s)
+		req := perturbedRequest(t, prev, spec, 3)
+		req.Refiner = refiner
+		resp, err := s.Remap(context.Background(), prev, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Diagnostics.WarmStart {
+			t.Fatalf("refiner %q: near-identical instance did not warm-start (similarity %v)",
+				refiner, resp.Diagnostics.Similarity)
+		}
+		if resp.Result.TotalTime > resp.Result.InitialTotalTime {
+			t.Errorf("refiner %q: warm result %d worse than its incumbent %d",
+				refiner, resp.Result.TotalTime, resp.Result.InitialTotalTime)
+		}
+		if err := resp.Result.Assignment.Validate(); err != nil {
+			t.Errorf("refiner %q: warm assignment invalid: %v", refiner, err)
+		}
+		if sim := resp.Diagnostics.Similarity; sim <= 0 || sim >= 1 {
+			t.Errorf("refiner %q: similarity %v outside (0,1)", refiner, sim)
+		}
+	}
+}
+
+// TestRemapBitReproducibleAndWorkerCountIndependent is metamorphic
+// property (c): at a fixed seed the warm-started mapping is bit-identical
+// across fresh solvers, and its total time does not depend on the worker
+// count driving the refinement chains.
+func TestRemapBitReproducibleAndWorkerCountIndependent(t *testing.T) {
+	spec := gen.PerturbSpec{GrowTasks: 2, ReweightEdges: 0.25}
+	run := func(workers int) *Response {
+		var s Solver
+		prev, _ := remapBase(t, &s)
+		req := perturbedRequest(t, prev, spec, 9)
+		req.Options.Starts = 3
+		req.Options.Workers = workers
+		req.Options.DisableTermination = true
+		resp, err := s.Remap(context.Background(), prev, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Diagnostics.WarmStart {
+			t.Fatal("perturbed remap did not warm-start")
+		}
+		return resp
+	}
+	a, b := run(1), run(1)
+	if got, want := normalizedJSON(t, a), normalizedJSON(t, b); string(got) != string(want) {
+		t.Fatalf("fixed-seed remap not bit-reproducible:\na: %s\nb: %s", want, got)
+	}
+	wide := run(4)
+	if wide.Result.TotalTime != a.Result.TotalTime {
+		t.Fatalf("warm total time depends on worker count: %d (1 worker) vs %d (4 workers)",
+			a.Result.TotalTime, wide.Result.TotalTime)
+	}
+	if wide.Result.LowerBound != a.Result.LowerBound || wide.Result.InitialTotalTime != a.Result.InitialTotalTime {
+		t.Fatal("warm bounds depend on worker count")
+	}
+}
+
+// TestRemapConcurrentIdenticalRequestsCoalesceOnce extends the
+// singleflight gate to the remap path: concurrent identical Remaps carry
+// identical incumbents, share one canonical fingerprint, and execute the
+// underlying solve exactly once. Run under -race it also proves the
+// sharing is clean.
+func TestRemapConcurrentIdenticalRequestsCoalesceOnce(t *testing.T) {
+	registerCountingClusterer(t)
+	var s Solver
+	prob, _, err := gen.TableInstance(6, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &Request{Problem: prob, Topology: "mesh-2x3", Clusterer: "counting", Seed: 13}
+	prev, err := s.Solve(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countingCalls.Store(0)
+	mut, err := gen.Perturb(gen.Instance{Problem: prev.Problem, System: prev.System},
+		gen.PerturbSpec{GrowTasks: 1, ReweightEdges: 0.2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 12
+	responses := make([]*Response, clients)
+	errs := make([]error, clients)
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			req := &Request{Problem: mut.Problem, System: mut.System, Clusterer: "counting", Seed: 13}
+			responses[i], errs[i] = s.Remap(context.Background(), prev, req)
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if got := countingCalls.Load(); got != 1 {
+		t.Fatalf("underlying clustering ran %d times for %d identical remaps, want exactly 1", got, clients)
+	}
+	var leaders int
+	want := normalizedJSON(t, responses[0])
+	for i, resp := range responses {
+		if !resp.Diagnostics.WarmStart {
+			t.Fatalf("client %d not warm-started", i)
+		}
+		if !resp.Diagnostics.CacheHit && !resp.Diagnostics.Coalesced {
+			leaders++
+		}
+		if got := normalizedJSON(t, resp); string(got) != string(want) {
+			t.Fatalf("client %d response differs from client 0", i)
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d clients executed, want exactly 1 leader", leaders)
+	}
+	if st := s.Stats(); st.WarmStarts != clients {
+		t.Fatalf("stats report %d warm starts, want %d", st.WarmStarts, clients)
+	}
+}
+
+// TestRemapLowSimilarityFallsBackCold pins the decision ladder: an
+// unrelated instance must not inherit the old assignment.
+func TestRemapLowSimilarityFallsBackCold(t *testing.T) {
+	var s Solver
+	prev, _ := remapBase(t, &s)
+	other, _, err := gen.TableInstance(6, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Problem: other, Topology: "mesh-2x3", Clusterer: "load-balance", Seed: 41}
+	resp, err := s.Remap(context.Background(), prev, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Diagnostics.WarmStart {
+		t.Fatal("unrelated instance warm-started")
+	}
+	if sim := resp.Diagnostics.Similarity; sim >= DefaultMinWarmSimilarity {
+		t.Fatalf("cold fallback with similarity %v at or above the threshold", sim)
+	}
+	if st := s.Stats(); st.Remaps != 1 || st.WarmStarts != 0 {
+		t.Fatalf("stats = %d remaps / %d warm starts, want 1/0", st.Remaps, st.WarmStarts)
+	}
+}
+
+// TestRemapProcessorGainWarmStarts exercises the projection across a grown
+// machine: K exceeds the old NS, the projected incumbent must still be a
+// bijection (the naive-copy regression), and the warm solve must succeed.
+func TestRemapProcessorGainWarmStarts(t *testing.T) {
+	var s Solver
+	prev, _ := remapBase(t, &s)
+	req := perturbedRequest(t, prev, gen.PerturbSpec{AddProcs: 2, ReweightEdges: 0.1}, 5)
+	resp, err := s.Remap(context.Background(), prev, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Diagnostics.WarmStart {
+		t.Fatalf("processor-gain remap did not warm-start (similarity %v)", resp.Diagnostics.Similarity)
+	}
+	wantK := prev.System.NumNodes() + 2
+	if got := resp.Result.Assignment.K(); got != wantK {
+		t.Fatalf("warm assignment covers %d clusters, want %d", got, wantK)
+	}
+	if err := resp.Result.Assignment.Validate(); err != nil {
+		t.Fatalf("warm assignment across gained processors invalid: %v", err)
+	}
+	if resp.Result.TotalTime > resp.Result.InitialTotalTime {
+		t.Fatalf("warm result %d worse than projected incumbent %d", resp.Result.TotalTime, resp.Result.InitialTotalTime)
+	}
+}
+
+// TestRemapProcessorLossEvictsSeats exercises the shrink direction: seats
+// on lost processors are evicted and re-seated, and the mapping stays
+// valid on the smaller machine.
+func TestRemapProcessorLossEvictsSeats(t *testing.T) {
+	var s Solver
+	prev, _ := remapBase(t, &s)
+	req := perturbedRequest(t, prev, gen.PerturbSpec{DropProcs: 1}, 11)
+	resp, err := s.Remap(context.Background(), prev, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Diagnostics.WarmStart {
+		t.Fatalf("processor-loss remap did not warm-start (similarity %v)", resp.Diagnostics.Similarity)
+	}
+	wantK := prev.System.NumNodes() - 1
+	if got := resp.Result.Assignment.K(); got != wantK {
+		t.Fatalf("warm assignment covers %d clusters, want %d", got, wantK)
+	}
+	if err := resp.Result.Assignment.Validate(); err != nil {
+		t.Fatalf("warm assignment after processor loss invalid: %v", err)
+	}
+}
+
+// TestRemapValidation pins the remap-specific request contract.
+func TestRemapValidation(t *testing.T) {
+	var s Solver
+	prev, req := remapBase(t, &s)
+
+	if _, err := s.Remap(context.Background(), nil, req); err == nil {
+		t.Error("nil prev accepted")
+	}
+	for name, broken := range map[string]func(*Response){
+		"no problem":    func(r *Response) { r.Problem = nil },
+		"no system":     func(r *Response) { r.System = nil },
+		"no result":     func(r *Response) { r.Result = nil },
+		"bad bijection": func(r *Response) { r.Result.Assignment.ProcOf[0] = r.Result.Assignment.ProcOf[1] },
+	} {
+		bad := *prev
+		if bad.Result != nil {
+			res := *prev.Result
+			res.Assignment = prev.Result.Assignment.Clone()
+			bad.Result = &res
+		}
+		broken(&bad)
+		if _, err := s.Remap(context.Background(), &bad, req); err == nil {
+			t.Errorf("%s prev accepted", name)
+		}
+	}
+	withInc := *req
+	withInc.Options.Incumbent = prev.Result.Assignment
+	if _, err := s.Remap(context.Background(), prev, &withInc); err == nil {
+		t.Error("caller-supplied incumbent accepted")
+	}
+	if _, err := s.Remap(context.Background(), prev, &Request{}); err == nil {
+		t.Error("empty request accepted")
+	}
+}
+
+// TestRemapTopologyRequestResolvesMachine checks that a remap request may
+// name its machine as a topology spec, like any solve request.
+func TestRemapTopologyRequestResolvesMachine(t *testing.T) {
+	var s Solver
+	prev, _ := remapBase(t, &s)
+	mut, err := gen.Perturb(gen.Instance{Problem: prev.Problem, System: prev.System},
+		gen.PerturbSpec{ReweightEdges: 0.3}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Problem: mut.Problem, Topology: "hypercube-3", Clusterer: "load-balance", Seed: 41}
+	resp, err := s.Remap(context.Background(), prev, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Diagnostics.WarmStart {
+		t.Fatalf("reweight-only remap did not warm-start (similarity %v)", resp.Diagnostics.Similarity)
+	}
+	if !resp.System.Equal(topology.Hypercube(3)) {
+		t.Fatal("resolved machine is not the named hypercube")
+	}
+}
+
+// TestResponseCarriesProblem pins the self-containment contract Remap
+// depends on: every pipeline response retains its problem graph.
+func TestResponseCarriesProblem(t *testing.T) {
+	var s Solver
+	prev, req := remapBase(t, &s)
+	if prev.Problem != req.Problem {
+		t.Fatal("response does not carry the solved problem graph")
+	}
+	hit, err := s.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Problem != req.Problem {
+		t.Fatal("cache-hit response does not carry the problem graph")
+	}
+	var chain Solver
+	first, _ := remapBase(t, &chain)
+	second, err := chain.Remap(context.Background(), first,
+		perturbedRequest(t, first, gen.PerturbSpec{GrowTasks: 1}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remap chains: yesterday's remap response seeds tomorrow's remap.
+	third, err := chain.Remap(context.Background(), second,
+		perturbedRequest(t, second, gen.PerturbSpec{ReweightEdges: 0.2}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Diagnostics.WarmStart {
+		t.Fatal("chained remap did not warm-start")
+	}
+}
+
+// TestRemapSimilarityMatchesDiff cross-checks the stamped score against a
+// direct graph.Diff of the same pair.
+func TestRemapSimilarityMatchesDiff(t *testing.T) {
+	var s Solver
+	prev, _ := remapBase(t, &s)
+	req := perturbedRequest(t, prev, gen.PerturbSpec{GrowTasks: 2, ReweightEdges: 0.2}, 31)
+	resp, err := s.Remap(context.Background(), prev, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.Diff(prev.Problem, req.Problem, prev.System, req.System).Similarity()
+	if resp.Diagnostics.Similarity != want {
+		t.Fatalf("stamped similarity %v, direct diff says %v", resp.Diagnostics.Similarity, want)
+	}
+}

@@ -105,6 +105,18 @@ type Diagnostics struct {
 	// was not replayed from the cache (CacheHit is false) and not solved
 	// by this request either. At most one of CacheHit and Coalesced is set.
 	Coalesced bool
+	// WarmStart reports that refinement started from a projected previous
+	// assignment (Options.Incumbent) instead of the paper's initial
+	// assignment — the Remap reuse path. It is a property of the execution
+	// the response describes, so cache hits and coalesced rides replaying a
+	// warm execution keep it set.
+	WarmStart bool
+	// Similarity is the structural similarity score (graph.Delta) between
+	// the previous and the new instance that drove a Remap decision, in
+	// [0,1]. It is annotated on the caller's response copy only; plain
+	// Solve calls and zero-delta Remaps (which degenerate to plain solves,
+	// preserving byte-identity with a cache hit) leave it zero.
+	Similarity float64
 }
 
 // Response is the outcome of solving one Request. Responses handed out by
@@ -114,6 +126,10 @@ type Response struct {
 	// Result is the full mapping result (assignment, total time, lower
 	// bound, refinement statistics, ideal graph, critical analysis).
 	Result *core.Result
+	// Problem is the task DAG the response solved (identical to
+	// Request.Problem). Retained so a Response is self-contained as the
+	// "previous solution" a later Remap diffs against.
+	Problem *graph.Problem
 	// Schedule is the evaluated schedule of the winning assignment:
 	// per-task start/end times, total time, latest tasks.
 	Schedule *schedule.Result
@@ -198,6 +214,11 @@ type Solver struct {
 	// response field testable; nothing on the solve path itself reads it,
 	// so the mapping stays byte-identical whatever the clock returns.
 	Clock func() time.Time
+	// MinWarmSimilarity is the structural-similarity threshold below which
+	// Remap refuses to warm-start and solves cold instead (0 = 0.5). The
+	// score is graph.Delta.Similarity: 1 means structurally identical.
+	// Negative disables the floor entirely (always warm-start).
+	MinWarmSimilarity float64
 
 	initOnce sync.Once
 	results  *lruCache[*Response]
@@ -208,6 +229,8 @@ type Solver struct {
 	solves      atomic.Uint64
 	coalesced   atomic.Uint64
 	uncacheable atomic.Uint64
+	remaps      atomic.Uint64
+	warmStarts  atomic.Uint64
 }
 
 // NewSolver returns a Solver with the given batch fan-out bound
@@ -272,6 +295,13 @@ type Stats struct {
 	// NoCache set, or options carrying a live generator or refiner
 	// instance the fingerprint cannot capture.
 	Uncacheable uint64 `json:"uncacheable"`
+
+	// Remaps counts Remap calls; WarmStarts the subset that actually
+	// warm-started refinement from a projected previous assignment (the
+	// rest fell back to a cold solve: zero delta replayed from cache, or
+	// similarity below the threshold).
+	Remaps     uint64 `json:"remaps"`
+	WarmStarts uint64 `json:"warm_starts"`
 }
 
 // Stats snapshots the solver's counters. Per-cache sections are
@@ -284,6 +314,8 @@ func (s *Solver) Stats() Stats {
 	st.Solves = s.solves.Load()
 	st.Coalesced = s.coalesced.Load()
 	st.Uncacheable = s.uncacheable.Load()
+	st.Remaps = s.remaps.Load()
+	st.WarmStarts = s.warmStarts.Load()
 	st.ResultHits, st.ResultMisses, st.ResultEvictions, st.CachedResults = s.results.Snapshot()
 	st.DistHits, st.DistMisses, st.DistEvictions, st.CachedDists = s.dists.Snapshot()
 	st.CachedSystems = s.systems.Len()

@@ -1,0 +1,61 @@
+package mimdmap
+
+import (
+	"context"
+
+	"mimdmap/internal/gen"
+	"mimdmap/internal/graph"
+	"mimdmap/internal/service"
+)
+
+// Online remapping. A deployed mapping rarely faces a brand-new instance:
+// the task graph grows a few nodes, the machine loses a processor, edge
+// weights drift. Diff measures that structural delta, ProjectAssignment
+// carries a previous assignment across it, and Solver.Remap (or the
+// package-level Remap convenience) stitches the two into the staged solve
+// pipeline so refinement warm-starts from the projected mapping instead of
+// the paper's initial assignment — never ending worse than the incumbent.
+// Perturb generates the evolved instances that exercise this path.
+type (
+	// Delta is the structural difference between two problem/system pairs,
+	// under the index-aligned convention (task i ↔ task i, processor i ↔
+	// processor i while both exist). See Diff.
+	Delta = graph.Delta
+	// Projection reports how ProjectAssignment carried seats across a
+	// delta: how many survived, were evicted, or were seated fresh.
+	Projection = graph.Projection
+	// PerturbSpec configures Perturb: how much to grow, shrink, resize and
+	// reweight the problem, and how many processors to add or drop.
+	PerturbSpec = gen.PerturbSpec
+	// Instance bundles a problem with the machine it runs on — the unit
+	// Perturb evolves.
+	Instance = gen.Instance
+)
+
+// DefaultMinWarmSimilarity is the warm-start threshold a Solver applies
+// when its MinWarmSimilarity field is zero: below it, Remap falls back to
+// a cold solve. Set Solver.MinWarmSimilarity negative to warm-start on any
+// non-zero delta.
+const DefaultMinWarmSimilarity = service.DefaultMinWarmSimilarity
+
+var (
+	// Diff computes the structural Delta between two instances; nil
+	// systems are allowed and compare as unchanged machines.
+	Diff = graph.Diff
+	// ProjectAssignment carries a processor assignment (a bijection
+	// cluster→processor) onto a machine with newK processors: surviving
+	// seats kept, seats beyond the new machine evicted, gained processors
+	// seated fresh. The result is always a bijection of [0, newK).
+	ProjectAssignment = graph.ProjectAssignment
+	// Perturb evolves an instance by a seeded, deterministic mutation —
+	// same instance, spec and seed, same output bytes.
+	Perturb = gen.Perturb
+)
+
+// Remap solves req with a throwaway Solver, reusing prev — a Response from
+// an earlier Solve or Remap — as the warm-start seed when the instances
+// are structurally similar; see Solver.Remap. Callers remapping repeatedly
+// should hold one Solver so its caches and distance tables pay off.
+func Remap(ctx context.Context, prev *Response, req *Request) (*Response, error) {
+	return new(Solver).Remap(ctx, prev, req)
+}
