@@ -179,6 +179,13 @@ type solveRequest struct {
 	Refinements int `json:"refinements,omitempty"`
 	// FullPropagation selects the full critical-edge propagation mode.
 	FullPropagation bool `json:"full_propagation,omitempty"`
+	// PortfolioRounds and PortfolioArms tune the adaptive portfolio when
+	// the refiner is "portfolio": the number of budget slices per chain
+	// (0 = default) and a comma-separated arm list like
+	// "paper,pairwise,anneal" (empty = the default arm set). The string
+	// form keeps solveRequest comparable for the job store.
+	PortfolioRounds int    `json:"portfolio_rounds,omitempty"`
+	PortfolioArms   string `json:"portfolio_arms,omitempty"`
 	// NoCache forces a full execution, bypassing the solver's response
 	// cache and in-flight coalescing.
 	NoCache bool `json:"no_cache,omitempty"`
@@ -226,8 +233,12 @@ type solveResponse struct {
 	// when the request was a plain solve).
 	WarmStart  bool    `json:"warm_start,omitempty"`
 	Similarity float64 `json:"similarity,omitempty"`
-	Start      []int   `json:"start"`
-	End        []int   `json:"end"`
+	// WinningArm and PortfolioArms report the adaptive portfolio's outcome
+	// (see Diagnostics); both are empty for plain refiners.
+	WinningArm    string             `json:"winning_arm,omitempty"`
+	PortfolioArms []mimdmap.ArmStats `json:"portfolio_arms,omitempty"`
+	Start         []int              `json:"start"`
+	End           []int              `json:"end"`
 }
 
 type errorResponse struct {
@@ -492,6 +503,12 @@ func toRequest(wire *solveRequest, workers int) (*mimdmap.Request, error) {
 	if wire.FullPropagation {
 		req.Options.Propagation = mimdmap.FullPropagation
 	}
+	req.Options.PortfolioRounds = wire.PortfolioRounds
+	if wire.PortfolioArms != "" {
+		for _, arm := range strings.Split(wire.PortfolioArms, ",") {
+			req.Options.PortfolioArms = append(req.Options.PortfolioArms, strings.TrimSpace(arm))
+		}
+	}
 	if wire.Problem != "" {
 		p, err := mimdmap.ReadProblem(strings.NewReader(wire.Problem))
 		if err != nil {
@@ -574,6 +591,8 @@ func toWire(resp *mimdmap.Response) *solveResponse {
 		Refiner:          resp.Diagnostics.Refiner,
 		WarmStart:        resp.Diagnostics.WarmStart,
 		Similarity:       resp.Diagnostics.Similarity,
+		WinningArm:       resp.Diagnostics.WinningArm,
+		PortfolioArms:    resp.Diagnostics.PortfolioArms,
 		Start:            resp.Schedule.Start,
 		End:              resp.Schedule.End,
 	}

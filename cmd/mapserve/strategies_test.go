@@ -47,7 +47,7 @@ func TestStrategiesEndpoint(t *testing.T) {
 			t.Fatalf("built-in clusterer %q has no doc in /strategies", name)
 		}
 	}
-	for _, name := range []string{"paper", "full-reshuffle", "pairwise", "anneal", "bokhari"} {
+	for _, name := range []string{"paper", "full-reshuffle", "pairwise", "anneal", "bokhari", "portfolio"} {
 		if got.RefinerDocs[name] == "" {
 			t.Fatalf("built-in refiner %q has no doc in /strategies", name)
 		}
@@ -102,5 +102,51 @@ func TestSolveWithRefiner(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "no-such-strategy") {
 		t.Fatalf("error body does not name the bad refiner: %s", body)
+	}
+}
+
+// TestSolveWithPortfolioOptions round-trips the portfolio tuning fields:
+// a CSV arm list and a round override reach the solver, the response
+// carries the per-arm split and the winning arm, and an arm list naming an
+// unknown strategy is a 400 before any solve runs.
+func TestSolveWithPortfolioOptions(t *testing.T) {
+	probText, _ := serveInstance(t)
+	srv := newTestServer(t)
+	status, body := postSolve(t, srv.URL, mustJSON(t, map[string]any{
+		"problem":          probText,
+		"topology":         "mesh-2x3",
+		"clusterer":        "round-robin",
+		"seed":             7,
+		"refiner":          "portfolio",
+		"portfolio_rounds": 4,
+		"portfolio_arms":   "paper, anneal",
+	}))
+	if status != http.StatusOK {
+		t.Fatalf("portfolio solve status %d, body %s", status, body)
+	}
+	var wire solveResponse
+	if err := json.Unmarshal(body, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.PortfolioArms) != 2 ||
+		wire.PortfolioArms[0].Name != "paper" || wire.PortfolioArms[1].Name != "anneal" {
+		t.Fatalf("portfolio_arms %+v, want stats for paper and anneal", wire.PortfolioArms)
+	}
+	if wire.WinningArm != "" && wire.WinningArm != "paper" && wire.WinningArm != "anneal" {
+		t.Fatalf("winning_arm %q is not one of the requested arms", wire.WinningArm)
+	}
+
+	status, body = postSolve(t, srv.URL, mustJSON(t, map[string]any{
+		"problem":        probText,
+		"topology":       "mesh-2x3",
+		"clusterer":      "round-robin",
+		"refiner":        "portfolio",
+		"portfolio_arms": "paper,no-such-strategy",
+	}))
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad arm list: status %d, want 400 (body %s)", status, body)
+	}
+	if !strings.Contains(string(body), "no-such-strategy") {
+		t.Fatalf("error body does not name the bad arm: %s", body)
 	}
 }

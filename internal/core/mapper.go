@@ -111,6 +111,15 @@ type Options struct {
 	// (annealing can), the incumbent is restored. nil reproduces the
 	// paper's cold path exactly.
 	Incumbent *schedule.Assignment
+	// PortfolioRounds sets how many budget slices the adaptive portfolio
+	// refiner schedules per chain (0 = the portfolio's default). Ignored
+	// unless the run's refiner is the portfolio.
+	PortfolioRounds int
+	// PortfolioArms names the strategies the adaptive portfolio races
+	// (nil = the portfolio's default arm set). Every name must resolve in
+	// the refiner registry and may not be "portfolio" itself; New rejects
+	// anything else. Ignored unless the run's refiner is the portfolio.
+	PortfolioArms []string
 }
 
 // Result is the outcome of a mapping run.
@@ -148,6 +157,14 @@ type Result struct {
 	// (always 0 for sequential runs; see RunParallel). Refinements,
 	// Improved and Trials describe that winning chain only.
 	Chain int
+	// Arms reports the adaptive portfolio's per-arm budget split when the
+	// run's refiner was the portfolio (nil otherwise). Multi-start runs
+	// merge the split across every chain, unlike the per-chain counters
+	// above.
+	Arms []search.ArmStats
+	// WinningArm names the portfolio arm that produced TotalTime ("" for
+	// plain refiners, or when no arm improved the initial assignment).
+	WinningArm string
 }
 
 // Mapper maps one clustered problem graph onto one system graph. Build it
@@ -196,6 +213,14 @@ func New(p *graph.Problem, c *graph.Clustering, s *graph.System, opts Options) (
 		}
 		if err := inc.Validate(); err != nil {
 			return nil, fmt.Errorf("core: invalid incumbent: %w", err)
+		}
+	}
+	for _, arm := range opts.PortfolioArms {
+		if arm == "portfolio" {
+			return nil, fmt.Errorf("core: portfolio arm %q would nest the portfolio in itself", arm)
+		}
+		if _, aerr := search.RefinerByName(arm); aerr != nil {
+			return nil, fmt.Errorf("core: invalid portfolio arm: %w", aerr)
 		}
 	}
 	var dist *paths.Table
@@ -351,6 +376,8 @@ func (m *Mapper) refine(ctx context.Context, rng *rand.Rand, ev *schedule.Evalua
 		LowerBound:         res.LowerBound,
 		DisableTermination: m.opts.DisableTermination,
 		RecordTrials:       m.opts.RecordTrials,
+		Rounds:             m.opts.PortfolioRounds,
+		Arms:               m.opts.PortfolioArms,
 	}, rng)
 	copy(res.Assignment.ProcOf, sess.ProcOf())
 	res.TotalTime = trace.Final
@@ -359,6 +386,8 @@ func (m *Mapper) refine(ctx context.Context, rng *rand.Rand, ev *schedule.Evalua
 	if trace.Totals != nil {
 		res.Trials = append(res.Trials, trace.Totals...)
 	}
+	res.Arms = trace.Arms
+	res.WinningArm = trace.WinningArm
 	if snapshot != nil && res.TotalTime > preTotal {
 		copy(res.Assignment.ProcOf, snapshot)
 		res.TotalTime = preTotal

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"math/rand"
+	"sync"
 
 	"mimdmap/internal/graph"
 	"mimdmap/internal/parallel"
+	"mimdmap/internal/search"
 )
 
 // RunParallel executes the strategy with Options.Starts independent
@@ -37,6 +39,9 @@ func (m *Mapper) RunParallel(ctx context.Context) (*Result, error) {
 	base, err := m.analyse()
 	if err != nil || base.OptimalProven {
 		return base, err
+	}
+	if rr, ok := m.refiner().(search.RoundRefiner); ok {
+		return m.runRounds(ctx, rr, base)
 	}
 	seed := m.opts.Seed
 	if seed == 0 {
@@ -90,6 +95,199 @@ func (m *Mapper) RunParallel(ctx context.Context) (*Result, error) {
 		best = base
 	}
 	return best, nil
+}
+
+// runRounds is the multi-start path for round-capable refiners (the
+// adaptive portfolio): instead of running every chain's Refine to
+// completion independently, it drives all chains in lockstep, one
+// parallel.ForEach per round. The ForEach return is the round barrier —
+// chains publish their best snapshot into a per-chain exchange slot during
+// the round, the driver merges the slots sequentially between rounds, and
+// the merged elite is offered to every chain at the start of the next
+// round. Because the merge is sequential and deterministic (lowest total,
+// then lowest chain index) and chains never observe each other mid-round,
+// the entire Result — assignment bytes included — is bit-reproducible at a
+// fixed seed and independent of Options.Workers. For the same reason there
+// is no mid-round lower-bound cancellation: a chain that proves optimality
+// finishes its round, and the driver stops everything at the next barrier.
+func (m *Mapper) runRounds(ctx context.Context, rr search.RoundRefiner, base *Result) (*Result, error) {
+	starts := m.opts.Starts
+	budget := m.opts.MaxRefinements
+	if budget == 0 {
+		budget = m.sys.NumNodes()
+	}
+	if budget < 0 || len(m.freeClusters) < 2 {
+		return base, nil
+	}
+	seed := m.opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	type chainRun struct {
+		res   *Result
+		state search.ChainState
+		done  bool
+	}
+	chains := make([]chainRun, starts)
+	for i := range chains {
+		res := &Result{
+			Assignment:       base.Assignment.Clone(),
+			TotalTime:        base.TotalTime,
+			LowerBound:       base.LowerBound,
+			InitialTotalTime: base.InitialTotalTime,
+			FrozenClusters:   base.FrozenClusters,
+			Ideal:            base.Ideal,
+			Critical:         base.Critical,
+			Chain:            i,
+		}
+		rng := m.opts.Rand
+		ev := m.eval
+		if i > 0 {
+			rng = rand.New(rand.NewSource(parallel.DeriveSeed(seed, i)))
+			ev = m.eval.Fork()
+		}
+		chains[i].res = res
+		chains[i].state = rr.NewChainState(ev.NewSwapSession(res.Assignment), search.Budget{
+			Trials:             budget,
+			Free:               m.freeClusters,
+			FreeProcs:          m.freeProcs,
+			LowerBound:         res.LowerBound,
+			DisableTermination: m.opts.DisableTermination,
+			RecordTrials:       m.opts.RecordTrials,
+			Rounds:             m.opts.PortfolioRounds,
+			Arms:               m.opts.PortfolioArms,
+		}, rng)
+	}
+	ex := newEliteExchange(starts, m.clus.K)
+	for ctx.Err() == nil {
+		elite := ex.elite()
+		_ = parallel.ForEach(ctx, starts, m.opts.Workers, func(cctx context.Context, i int) error {
+			if !chains[i].done {
+				chains[i].done = chains[i].state.RunRound(cctx, elite)
+				ex.publish(i, chains[i].state.Best())
+			}
+			return nil
+		})
+		ex.merge()
+		allDone := true
+		for i := range chains {
+			if !chains[i].done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		if e := ex.elite(); e != nil && !m.opts.DisableTermination && e.Total == base.LowerBound {
+			break
+		}
+	}
+	var best *Result
+	for i := range chains {
+		trace := chains[i].state.Finish()
+		res := chains[i].res
+		copy(res.Assignment.ProcOf, chains[i].state.Best().ProcOf)
+		res.TotalTime = trace.Final
+		res.Refinements = trace.Trials
+		res.Improved = trace.Improved
+		if trace.Totals != nil {
+			res.Trials = append(res.Trials, trace.Totals...)
+		}
+		res.WinningArm = trace.WinningArm
+		res.OptimalProven = res.TotalTime == res.LowerBound
+		if best == nil || res.TotalTime < best.TotalTime {
+			best = res
+		}
+	}
+	best.Arms = mergeArmStats(chains[0].state.Finish().Arms, func(i int) []search.ArmStats {
+		return chains[i].state.Finish().Arms
+	}, starts)
+	return best, nil
+}
+
+// mergeArmStats sums the per-arm budget split across all chains, keeping
+// chain 0's arm order.
+func mergeArmStats(first []search.ArmStats, armsOf func(int) []search.ArmStats, starts int) []search.ArmStats {
+	merged := make([]search.ArmStats, len(first))
+	copy(merged, first)
+	for i := 1; i < starts; i++ {
+		for _, a := range armsOf(i) {
+			for j := range merged {
+				if merged[j].Name == a.Name {
+					merged[j].Rounds += a.Rounds
+					merged[j].Trials += a.Trials
+					merged[j].Improved += a.Improved
+					break
+				}
+			}
+		}
+	}
+	return merged
+}
+
+// eliteExchange is the concurrency-safe elite-incumbent pool of the
+// lockstep portfolio path. Each chain owns one snapshot slot it overwrites
+// during a round (publish copies into exchange-owned buffers, so no chain
+// memory is aliased); merge runs between rounds, on the driver goroutine,
+// and folds the slots into one elite with a deterministic rule — lowest
+// total, ties to the lowest chain index. elite exposes the merged snapshot;
+// its buffer is only rewritten inside merge, never mid-round, so chains may
+// read it without copying for the duration of a round.
+type eliteExchange struct {
+	mu    sync.Mutex
+	snaps []search.Elite
+	has   []bool
+	best  search.Elite
+	ok    bool
+}
+
+func newEliteExchange(starts, k int) *eliteExchange {
+	x := &eliteExchange{snaps: make([]search.Elite, starts), has: make([]bool, starts)}
+	for i := range x.snaps {
+		x.snaps[i].ProcOf = make([]int, k)
+	}
+	x.best.ProcOf = make([]int, k)
+	return x
+}
+
+// publish records chain i's best snapshot. Chains only write their own
+// slot, but the mutex keeps the exchange safe under any driver.
+func (x *eliteExchange) publish(i int, e search.Elite) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	copy(x.snaps[i].ProcOf, e.ProcOf)
+	x.snaps[i].Total = e.Total
+	x.snaps[i].Arm = e.Arm
+	x.has[i] = true
+}
+
+// merge folds the published slots into the shared elite. Driver-only,
+// between rounds.
+func (x *eliteExchange) merge() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	best := -1
+	for i := range x.snaps {
+		if x.has[i] && (best < 0 || x.snaps[i].Total < x.snaps[best].Total) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	copy(x.best.ProcOf, x.snaps[best].ProcOf)
+	x.best.Total = x.snaps[best].Total
+	x.best.Arm = x.snaps[best].Arm
+	x.ok = true
+}
+
+// elite returns the merged snapshot, nil before the first merge.
+func (x *eliteExchange) elite() *search.Elite {
+	if !x.ok {
+		return nil
+	}
+	return &x.best
 }
 
 // MapParallel is the multi-start entry point: it validates the inputs and

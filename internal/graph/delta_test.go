@@ -50,9 +50,9 @@ func TestDiffProblemChanges(t *testing.T) {
 	}
 	grown.Size[4] = 7
 	grown.SetEdge(3, 4, 2)
-	grown.Size[0] = 9         // resized
-	grown.Edge[0][1] = 5      // reweighted
-	grown.Edge[0][2] = 0      // removed
+	grown.Size[0] = 9    // resized
+	grown.Edge[0][1] = 5 // reweighted
+	grown.Edge[0][2] = 0 // removed
 	d := Diff(p, grown, s, s)
 	if !reflect.DeepEqual(d.TasksAdded, []int{4}) || d.TasksRemoved != nil {
 		t.Fatalf("tasks added/removed = %v/%v, want [4]/[]", d.TasksAdded, d.TasksRemoved)

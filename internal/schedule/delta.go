@@ -45,14 +45,17 @@ func defaultConeBudget(edges int) int { return edges / 2 }
 
 // seedCone marks, in s.mask, every topological position directly affected
 // by the candidate swaps (bit i set for lane i), and returns the smallest
-// marked position (len(endC) when no lane perturbs anything). Identity
-// lanes (ks == ls) seed nothing: they price the incumbent itself.
+// marked position (len(endC) when no lane perturbs anything) together with
+// the number of distinct marked positions — the scan's pending-mark count,
+// which lets it stop at the last mark instead of walking to the end.
+// Identity lanes (ks == ls) seed nothing: they price the incumbent itself.
 //
 //mapcheck:noalloc
-func (s *SwapSession) seedCone(ks, ls *[SwapLanes]int) int {
+func (s *SwapSession) seedCone(ks, ls *[SwapLanes]int) (int, int) {
 	e := s.e
 	mask := s.mask
 	t0 := len(s.endC)
+	pending := 0
 	for lane := 0; lane < SwapLanes; lane++ {
 		if ks[lane] == ls[lane] {
 			continue
@@ -67,19 +70,22 @@ func (s *SwapSession) seedCone(ks, ls *[SwapLanes]int) int {
 				t0 = int(aff[0])
 			}
 			for _, t := range aff {
+				if mask[t] == 0 {
+					pending++
+				}
 				mask[t] |= bit
 			}
 		}
 	}
-	return t0
+	return t0, pending
 }
 
 // tryDeltaBatch prices the batch by cone re-evaluation, writing the exact
 // totals and reporting true, or reports false — with every mark cleared —
 // when the cone outgrows the budget and the full kernel should price the
 // batch instead. The lane views must be synced to (ks, ls) first; the
-// committed end-time cache endC and its prefix maxima must mirror the
-// incumbent.
+// committed end-time cache endC and its prefix and suffix maxima must
+// mirror the incumbent.
 //
 //mapcheck:noalloc
 func (s *SwapSession) tryDeltaBatch(ks, ls *[SwapLanes]int, totals *[SwapLanes]int) bool {
@@ -102,7 +108,7 @@ func (s *SwapSession) tryDeltaBatch(ks, ls *[SwapLanes]int, totals *[SwapLanes]i
 	}
 	n := len(s.endC)
 	mask := s.mask
-	t0 := s.seedCone(ks, ls)
+	t0, pending := s.seedCone(ks, ls)
 	if t0 == n {
 		// No communicating edge touches the swapped clusters in any lane:
 		// every lane's schedule is the incumbent's.
@@ -150,6 +156,7 @@ func (s *SwapSession) tryDeltaBatch(ks, ls *[SwapLanes]int, totals *[SwapLanes]i
 			return false
 		}
 		visited = append(visited, int32(t))
+		pending--
 		oldEnd := endC[t]
 		changed := uint8(0)
 		cRow := int(clusOf[t]) * SwapLanes
@@ -185,8 +192,21 @@ func (s *SwapSession) tryDeltaBatch(ks, ls *[SwapLanes]int, totals *[SwapLanes]i
 		}
 		if changed != 0 {
 			for _, sc := range succs[succOff[t]:succOff[t+1]] {
+				if mask[sc] == 0 {
+					pending++
+				}
 				mask[sc] |= changed
 			}
+		}
+		if pending == 0 {
+			// The cone is fully consumed: every position past t is
+			// untouched, and the suffix-max cache holds their committed
+			// maximum, so the scan stops here instead of folding them in
+			// one by one to the end of the schedule.
+			if t+1 < n && s.suffMax[t+1] > unmarked {
+				unmarked = s.suffMax[t+1]
+			}
+			break
 		}
 	}
 	for _, vt := range visited {
@@ -205,13 +225,17 @@ func (s *SwapSession) tryDeltaBatch(ks, ls *[SwapLanes]int, totals *[SwapLanes]i
 
 // applyConeToCommitted re-evaluates, in place, the cone of the just-
 // committed swap (k, l) in the committed end-time cache and refreshes the
-// prefix maxima from the first affected position on. The incumbent
+// prefix and suffix maxima over the affected span. The incumbent
 // (s.lanes.a) already carries the swap. In-place recomputation is sound
 // because the scan is ascending: a predecessor's cached end is either
 // already its new value (recomputed earlier in this walk) or unchanged.
 // Unlike the trial pass this never bails out — the cache must end up
 // mirroring the incumbent — but a cone is walked only once per accepted
-// swap, and acceptances are a small fraction of trials.
+// swap, and acceptances are a small fraction of trials. The walk stops at
+// the last cascaded position: once no marks remain pending and the prefix
+// maximum has stabilised, every later position's cached end and prefix
+// maximum are provably unchanged, and the descending suffix-max refresh
+// below similarly stops once it stabilises before the first seed.
 //
 //mapcheck:noalloc
 func (s *SwapSession) applyConeToCommitted(k, l int) {
@@ -219,6 +243,7 @@ func (s *SwapSession) applyConeToCommitted(k, l int) {
 	n := len(s.endC)
 	mask := s.mask
 	t0 := n
+	pending := 0
 	for _, c := range [2]int{k, l} {
 		aff := e.affTasks[e.affOff[c]:e.affOff[c+1]]
 		if len(aff) == 0 {
@@ -228,6 +253,9 @@ func (s *SwapSession) applyConeToCommitted(k, l int) {
 			t0 = int(aff[0])
 		}
 		for _, t := range aff {
+			if mask[t] == 0 {
+				pending++
+			}
 			mask[t] = 1
 		}
 	}
@@ -239,9 +267,11 @@ func (s *SwapSession) applyConeToCommitted(k, l int) {
 	commOff, commEdges := e.commOff, e.commEdges
 	clusOf, size, distT, ns := e.clusOf, e.size, e.distT, e.ns
 	succOff, succs := e.succOff, e.succs
+	lastChanged := -1
 	for t := t0; t < n; t++ {
 		if mask[t] != 0 {
 			mask[t] = 0
+			pending--
 			ces := commEdges[commOff[t]:commOff[t+1]]
 			b := procOf[clusOf[t]] * ns
 			start := 0
@@ -253,16 +283,41 @@ func (s *SwapSession) applyConeToCommitted(k, l int) {
 			}
 			if v := start + int(size[t]); v != endC[t] {
 				endC[t] = v
+				lastChanged = t
 				for _, sc := range succs[succOff[t]:succOff[t+1]] {
+					if mask[sc] == 0 {
+						pending++
+					}
 					mask[sc] = 1
 				}
 			}
 		}
+		old := prefMax[t]
 		m := endC[t]
 		if t > 0 && prefMax[t-1] > m {
 			m = prefMax[t-1]
 		}
 		prefMax[t] = m
+		if pending == 0 && m == old {
+			// No mark lies past t and prefMax[t] kept its value, so every
+			// later cached end and prefix maximum is already correct.
+			break
+		}
+	}
+	// Refresh the suffix maxima over the changed span, descending from the
+	// last position whose cached end moved. Below the first seed no end
+	// changed, so the pass stops as soon as a suffix maximum keeps its
+	// value there — everything earlier depends only on unchanged inputs.
+	suffMax := s.suffMax
+	for t := lastChanged; t >= 0; t-- {
+		m := endC[t]
+		if t+1 < n && suffMax[t+1] > m {
+			m = suffMax[t+1]
+		}
+		if t < t0 && m == suffMax[t] {
+			break
+		}
+		suffMax[t] = m
 	}
 }
 
@@ -278,5 +333,23 @@ func (s *SwapSession) rebuildPrefMax(from int) {
 			m = prefMax[t-1]
 		}
 		prefMax[t] = m
+	}
+}
+
+// rebuildSuffMax recomputes the committed suffix maxima over the whole
+// schedule: suffMax[t] = max(endC[t..n-1]). The cache lets the delta scan
+// (and the commit walk) stop at the last pending mark — the maximum over
+// every untouched position past the stop is one lookup instead of a walk
+// to the end of the array.
+//
+//mapcheck:noalloc
+func (s *SwapSession) rebuildSuffMax() {
+	endC, suffMax := s.endC, s.suffMax
+	for t := len(endC) - 1; t >= 0; t-- {
+		m := endC[t]
+		if t+1 < len(endC) && suffMax[t+1] > m {
+			m = suffMax[t+1]
+		}
+		suffMax[t] = m
 	}
 }

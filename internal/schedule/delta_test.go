@@ -53,8 +53,8 @@ func TestDeltaMatchesFullOverRandomSwapSequences(t *testing.T) {
 				for l := 0; l < SwapLanes; l++ {
 					ks[l], ls[l] = RandSwapPair(rng, k)
 				}
-				ks[2], ls[2] = ks[1], ls[1]         // duplicate lane
-				ks[SwapLanes-1] = ls[SwapLanes-1]   // identity lane
+				ks[2], ls[2] = ks[1], ls[1]       // duplicate lane
+				ks[SwapLanes-1] = ls[SwapLanes-1] // identity lane
 				delta.TrySwapBatch(&ks, &ls, &dTotals)
 				full.TrySwapBatch(&ks, &ls, &fTotals)
 				for l := 0; l < SwapLanes; l++ {
@@ -114,6 +114,15 @@ func TestDeltaMatchesFullOverRandomSwapSequences(t *testing.T) {
 					}
 					if delta.prefMax[i] != run {
 						t.Fatalf("%s seed %d round %d: prefMax[%d] = %d, want %d", sys.Name, seed, round, i, delta.prefMax[i], run)
+					}
+				}
+				run = 0
+				for i := len(freshEnds) - 1; i >= 0; i-- {
+					if freshEnds[i] > run {
+						run = freshEnds[i]
+					}
+					if delta.suffMax[i] != run {
+						t.Fatalf("%s seed %d round %d: suffMax[%d] = %d, want %d", sys.Name, seed, round, i, delta.suffMax[i], run)
 					}
 				}
 				// The cone mask must always be fully unwound between trials.

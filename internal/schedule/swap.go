@@ -109,12 +109,14 @@ type SwapSession struct {
 	endB  [][SwapLanes]int // lane-interleaved end times of the batch pass
 
 	// Delta-evaluation state (delta.go): the committed incumbent's end
-	// times by topo position, their running prefix maxima, the per-position
-	// lane bitmask of the current cone, the positions it marked (for cheap
-	// unmarking), and the edge-visit budget past which a batch falls back
-	// to the full kernel.
+	// times by topo position, their running prefix and suffix maxima (the
+	// suffix cache lets the cone scan stop at its last pending mark), the
+	// per-position lane bitmask of the current cone, the positions it
+	// marked (for cheap unmarking), and the edge-visit budget past which a
+	// batch falls back to the full kernel.
 	endC       []int
 	prefMax    []int
+	suffMax    []int
 	mask       []uint8
 	visited    []int32
 	coneBudget int
@@ -175,6 +177,7 @@ func (e *Evaluator) NewSwapSession(a *Assignment) *SwapSession {
 		lanes:      newLaneViews(a),
 		endC:       make([]int, n),
 		prefMax:    make([]int, n),
+		suffMax:    make([]int, n),
 		mask:       make([]uint8, n),
 		visited:    make([]int32, 0, n),
 		coneBudget: defaultConeBudget(len(e.commEdges)),
@@ -186,6 +189,7 @@ func (e *Evaluator) NewSwapSession(a *Assignment) *SwapSession {
 	}
 	s.total = e.fillEnds(s.lanes.a.ProcOf, s.endC)
 	s.rebuildPrefMax(0)
+	s.rebuildSuffMax()
 	return s
 }
 
@@ -294,6 +298,7 @@ func (s *SwapSession) CommitAssign(procOf []int, total int) {
 	s.pending = false
 	s.e.fillEnds(s.lanes.a.ProcOf, s.endC)
 	s.rebuildPrefMax(0)
+	s.rebuildSuffMax()
 	s.bumpEpoch()
 }
 

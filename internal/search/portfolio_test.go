@@ -1,0 +1,215 @@
+package search
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mimdmap/internal/graph"
+	"mimdmap/internal/topology"
+)
+
+// TestRefinersTotalsConsistent pins Trace.Totals recording for every
+// registered strategy, not just the ones with dedicated budget tests: with
+// RecordTrials set, every priced trial lands in Totals (len == Trials), the
+// committed final is exactly the best of the start and every recorded
+// trial, and a re-run at the same seed reproduces the trace byte for byte.
+func TestRefinersTotalsConsistent(t *testing.T) {
+	for _, name := range RefinerNames() {
+		r, err := RefinerByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() (Trace, int, int) {
+			ev, start := instance(t, topology.Hypercube(4), 9)
+			initial := ev.TotalTime(start)
+			sess := ev.NewSwapSession(start)
+			tr := r.Refine(context.Background(), sess, Budget{Trials: 400, LowerBound: 1, RecordTrials: true},
+				rand.New(rand.NewSource(11)))
+			return tr, initial, sess.TotalTime()
+		}
+		tr, initial, committed := run()
+		if len(tr.Totals) != tr.Trials {
+			t.Errorf("%s: %d trials but %d recorded totals", name, tr.Trials, len(tr.Totals))
+		}
+		best := initial
+		for _, total := range tr.Totals {
+			if total < best {
+				best = total
+			}
+		}
+		if tr.Final != best {
+			t.Errorf("%s: final %d, but best of start and recorded trials is %d", name, tr.Final, best)
+		}
+		if committed != tr.Final {
+			t.Errorf("%s: committed incumbent %d differs from Final %d", name, committed, tr.Final)
+		}
+		again, _, _ := run()
+		if !reflect.DeepEqual(tr, again) {
+			t.Errorf("%s: re-run at the same seed produced a different trace", name)
+		}
+	}
+}
+
+// TestPortfolioArmAccounting pins the portfolio's trace bookkeeping: the
+// per-arm split sums to the chain's totals, the winning arm is one of the
+// arms that ran, and overriding Budget.Arms/Budget.Rounds narrows the race.
+func TestPortfolioArmAccounting(t *testing.T) {
+	ev, start := instance(t, topology.Mesh(4, 4), 21)
+	sess := ev.NewSwapSession(start)
+	p := &Portfolio{}
+	tr := p.Refine(context.Background(), sess, Budget{Trials: 2048, LowerBound: 1, DisableTermination: true},
+		rand.New(rand.NewSource(5)))
+	if len(tr.Arms) != len(DefaultPortfolioArms) {
+		t.Fatalf("arm stats cover %d arms, want %d", len(tr.Arms), len(DefaultPortfolioArms))
+	}
+	trials, improved, winnerRan := 0, 0, false
+	for i, a := range tr.Arms {
+		if a.Name != DefaultPortfolioArms[i] {
+			t.Fatalf("arm %d is %q, want %q (stats must keep arm order)", i, a.Name, DefaultPortfolioArms[i])
+		}
+		trials += a.Trials
+		improved += a.Improved
+		if a.Name == tr.WinningArm && a.Rounds > 0 {
+			winnerRan = true
+		}
+	}
+	if trials != tr.Trials || improved != tr.Improved {
+		t.Fatalf("arm split sums to %d trials / %d improved, trace says %d / %d",
+			trials, improved, tr.Trials, tr.Improved)
+	}
+	if tr.Final < ev.TotalTime(start) && (tr.WinningArm == "" || !winnerRan) {
+		t.Fatalf("run improved %d -> %d but winning arm is %q", ev.TotalTime(start), tr.Final, tr.WinningArm)
+	}
+
+	sess = ev.NewSwapSession(start)
+	tr = p.Refine(context.Background(), sess, Budget{
+		Trials: 1024, LowerBound: 1, DisableTermination: true,
+		Rounds: 3, Arms: []string{"paper", "portfolio", "no-such-strategy"},
+	}, rand.New(rand.NewSource(5)))
+	if len(tr.Arms) != 1 || tr.Arms[0].Name != "paper" {
+		t.Fatalf("arm override gave stats %+v, want paper only (self and unknown skipped)", tr.Arms)
+	}
+	if tr.Arms[0].Rounds != 3 {
+		t.Fatalf("rounds override gave %d rounds, want 3", tr.Arms[0].Rounds)
+	}
+	if tr.Trials != 1024 {
+		t.Fatalf("paper-only portfolio spent %d of 1024 trials", tr.Trials)
+	}
+}
+
+// TestPortfolioEliteAdoption drives a chain by hand: offered an elite
+// strictly better than its own best, the chain must restart from it — its
+// best can only end at or below the elite's total, and the adopted
+// assignment must be committed, not aliased.
+func TestPortfolioEliteAdoption(t *testing.T) {
+	ev, start := instance(t, topology.Mesh(4, 4), 33)
+
+	// Build a strong elite on a separate session with a long pairwise run.
+	eliteSess := ev.NewSwapSession(start)
+	pw, err := RefinerByName("pairwise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw.Refine(context.Background(), eliteSess, Budget{Trials: 1 << 14, LowerBound: 1, DisableTermination: true},
+		rand.New(rand.NewSource(1)))
+	elite := Elite{ProcOf: append([]int(nil), eliteSess.ProcOf()...), Total: eliteSess.TotalTime(), Arm: "pairwise"}
+
+	sess := ev.NewSwapSession(start)
+	if elite.Total >= ev.TotalTime(start) {
+		t.Fatalf("pairwise produced no improvement (%d vs %d); instance unusable for the test", elite.Total, ev.TotalTime(start))
+	}
+	c := (&Portfolio{}).NewChainState(sess, Budget{Trials: 256, LowerBound: 1, DisableTermination: true},
+		rand.New(rand.NewSource(2)))
+	c.RunRound(context.Background(), &elite)
+	if got := c.Best(); got.Total > elite.Total {
+		t.Fatalf("after adoption chain best is %d, elite was %d", got.Total, elite.Total)
+	}
+	tr := c.Finish()
+	if sess.TotalTime() != tr.Final || tr.Final > elite.Total {
+		t.Fatalf("finish committed %d (trace %d), elite was %d", sess.TotalTime(), tr.Final, elite.Total)
+	}
+	// The chain must have copied the elite, not aliased the caller's slice.
+	for i := range elite.ProcOf {
+		elite.ProcOf[i] = 0
+	}
+	if err := schedValidate(c.Best().ProcOf); err != nil {
+		t.Fatalf("chain best aliases the caller's elite buffer: %v", err)
+	}
+}
+
+// schedValidate checks that procOf is a permutation — the adopted elite
+// snapshot must stay a bijection after the caller's buffer is clobbered.
+func schedValidate(procOf []int) error {
+	seen := make(map[int]bool, len(procOf))
+	for _, p := range procOf {
+		if seen[p] {
+			return errDuplicateProc(p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+type errDuplicateProc int
+
+func (e errDuplicateProc) Error() string { return "duplicate processor in adopted snapshot" }
+
+// TestPortfolioNeverWorseThanWorstFixed pins the single-chain guarantee:
+// at equal trial budget the portfolio's final total never ends worse than
+// the worst fixed strategy's on any workload — the bandit can lose the
+// race for the best arm, but round-slicing across all arms with a shared
+// incumbent cannot do worse than committing the whole budget to the worst
+// one. (The stronger match-or-beat-the-best criterion lives in
+// internal/core's TestPortfolioMatchesBestFixedRefiner, over the
+// multi-start elite-sharing path the Table 1–3 experiments actually use.)
+func TestPortfolioNeverWorseThanWorstFixed(t *testing.T) {
+	workloads := []struct {
+		name string
+		sys  *graph.System
+	}{
+		{"hypercube-16", topology.Hypercube(4)},
+		{"hypercube-32", topology.Hypercube(5)},
+		{"mesh-4x4", topology.Mesh(4, 4)},
+		{"mesh-5x8", topology.Mesh(5, 8)},
+		{"random-24", topology.Random(24, 0.3, rand.New(rand.NewSource(1991)))},
+		{"random-36", topology.Random(36, 0.3, rand.New(rand.NewSource(1991)))},
+	}
+	const budget = 4096
+	fixed := []string{"paper", "full-reshuffle", "pairwise", "anneal", "bokhari"}
+	matchedBest := 0
+	for _, w := range workloads {
+		finals := make(map[string]int, len(fixed)+1)
+		for _, name := range append(append([]string(nil), fixed...), "portfolio") {
+			r, err := RefinerByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, start := instance(t, w.sys, 1991)
+			sess := ev.NewSwapSession(start)
+			tr := r.Refine(context.Background(), sess,
+				Budget{Trials: budget, LowerBound: 1, DisableTermination: true},
+				rand.New(rand.NewSource(7)))
+			finals[name] = tr.Final
+		}
+		bestFixed, worstFixed := finals[fixed[0]], finals[fixed[0]]
+		for _, name := range fixed {
+			if finals[name] < bestFixed {
+				bestFixed = finals[name]
+			}
+			if finals[name] > worstFixed {
+				worstFixed = finals[name]
+			}
+		}
+		if finals["portfolio"] > worstFixed {
+			t.Errorf("%s: portfolio final %d worse than the worst fixed strategy (%d); all finals %v",
+				w.name, finals["portfolio"], worstFixed, finals)
+		}
+		if finals["portfolio"] <= bestFixed {
+			matchedBest++
+		}
+		t.Logf("%s: portfolio %d, best fixed %d, worst fixed %d", w.name, finals["portfolio"], bestFixed, worstFixed)
+	}
+	t.Logf("single-chain portfolio matched the best fixed strategy on %d of %d workloads", matchedBest, len(workloads))
+}

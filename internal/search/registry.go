@@ -33,6 +33,7 @@ var refinerDocs = map[string]string{
 	"pairwise":       "systematic pairwise task exchange sweeps until no swap improves",
 	"anneal":         "simulated annealing over single-task moves with a geometric cooling schedule",
 	"bokhari":        "Bokhari-style pairwise interchange with probabilistic jumps out of local minima",
+	"portfolio":      "adaptive portfolio: bandit-scheduled rounds over the fixed strategies with elite incumbent sharing across chains",
 }
 
 func init() {
@@ -43,6 +44,7 @@ func init() {
 	MustRegisterRefiner("pairwise", func() Refiner { return Pairwise{} })
 	MustRegisterRefiner("anneal", func() Refiner { return &Anneal{} })
 	MustRegisterRefiner("bokhari", func() Refiner { return &Bokhari{} })
+	MustRegisterRefiner("portfolio", func() Refiner { return &Portfolio{} })
 	for name, doc := range refinerDocs {
 		registry.docs[name] = doc
 	}

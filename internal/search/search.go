@@ -48,6 +48,13 @@ type Budget struct {
 	// RecordTrials makes the refiner record every trial's total time in
 	// Trace.Totals, for convergence analysis.
 	RecordTrials bool
+	// Rounds is the number of budget slices an adaptive portfolio run
+	// schedules (0 = the portfolio's default). Plain refiners ignore it.
+	Rounds int
+	// Arms names the strategies an adaptive portfolio run races (nil = the
+	// portfolio's default arm set). Plain refiners ignore it. Callers must
+	// not mutate it after handing it to a refiner.
+	Arms []string
 }
 
 // free resolves the movable-cluster list: Budget.Free, or all clusters.
@@ -95,6 +102,12 @@ type Trace struct {
 	// Totals records every trial's total time in resolution order, when
 	// Budget.RecordTrials is set (nil otherwise).
 	Totals []int
+	// Arms reports the portfolio's per-arm budget split when the run was an
+	// adaptive portfolio (nil for plain refiners), in arm order.
+	Arms []ArmStats
+	// WinningArm names the portfolio arm whose round produced Final ("" for
+	// plain refiners, or when no round improved the starting incumbent).
+	WinningArm string
 }
 
 // Refiner is one local-search strategy over cluster→processor assignments.

@@ -156,7 +156,7 @@ func (st *solveState) canonicalize(context.Context) error {
 func canonicalKey(req *Request, seed int64) string {
 	// v2: the fingerprint gained the Options.Incumbent fold below — the
 	// domain tag is bumped per the stability contract in graph/fingerprint.go.
-	h := graph.NewHasher("mimdmap/request/v2")
+	h := graph.NewHasher("mimdmap/request/v3")
 	h.Fold(req.Problem.Fingerprint())
 	if req.System != nil {
 		h.Bool(true)
@@ -199,6 +199,11 @@ func canonicalKey(req *Request, seed int64) string {
 		h.Ints(o.Incumbent.ProcOf)
 	} else {
 		h.Bool(false)
+	}
+	h.Int(o.PortfolioRounds)
+	h.Int(len(o.PortfolioArms))
+	for _, arm := range o.PortfolioArms {
+		h.Str(arm)
 	}
 	h.Bool(req.OmitSchedule)
 	return h.Sum().String()
@@ -315,6 +320,8 @@ func (st *solveState) publish(ctx context.Context) error {
 			Refiner:        st.req.Refiner,
 			DistanceCached: st.distCached,
 			WarmStart:      st.req.Options.Incumbent != nil,
+			PortfolioArms:  st.result.Arms,
+			WinningArm:     st.result.WinningArm,
 		},
 		Elapsed: st.solver.now().Sub(st.began),
 	}
@@ -387,6 +394,17 @@ func validate(req *Request) *ValidationError {
 	}
 	if req.Refiner != "" && req.Options.Refiner != nil {
 		return &ValidationError{Field: "Refiner", Msg: "Refiner and Options.Refiner are mutually exclusive"}
+	}
+	if req.Options.PortfolioRounds < 0 {
+		return &ValidationError{Field: "Options.PortfolioRounds", Msg: "must be non-negative"}
+	}
+	for _, arm := range req.Options.PortfolioArms {
+		if arm == "portfolio" {
+			return &ValidationError{Field: "Options.PortfolioArms", Msg: "the portfolio cannot be its own arm"}
+		}
+		if _, err := search.RefinerByName(arm); err != nil {
+			return &ValidationError{Field: "Options.PortfolioArms", Msg: err.Error()}
+		}
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"mimdmap/internal/parallel"
 	"mimdmap/internal/paths"
 	"mimdmap/internal/schedule"
+	"mimdmap/internal/search"
 )
 
 // Seed streams: every random consumer of a request derives its generator
@@ -117,6 +118,15 @@ type Diagnostics struct {
 	// Solve calls and zero-delta Remaps (which degenerate to plain solves,
 	// preserving byte-identity with a cache hit) leave it zero.
 	Similarity float64
+	// PortfolioArms reports the adaptive portfolio's per-arm budget split —
+	// which arms ran, how many rounds and trials each got, and how many
+	// trials improved — merged across all refinement chains. nil unless the
+	// run's refiner was the portfolio.
+	PortfolioArms []search.ArmStats
+	// WinningArm names the portfolio arm that produced the returned total
+	// time ("" for plain refiners, or when no arm improved the initial
+	// assignment).
+	WinningArm string
 }
 
 // Response is the outcome of solving one Request. Responses handed out by

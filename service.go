@@ -84,7 +84,21 @@ type (
 	SearchBudget = search.Budget
 	// SearchTrace reports what one refinement run did.
 	SearchTrace = search.Trace
+	// Portfolio is the adaptive portfolio refiner ("portfolio" in the
+	// registry): it slices the trial budget into rounds and schedules the
+	// fixed strategies as bandit arms, racing them toward whichever is
+	// improving, with elite incumbents shared across multi-start chains.
+	// See Options.PortfolioRounds/PortfolioArms and
+	// Diagnostics.PortfolioArms/WinningArm.
+	Portfolio = search.Portfolio
+	// ArmStats reports one portfolio arm's share of a run (rounds, trials,
+	// improving trials); see Diagnostics.PortfolioArms.
+	ArmStats = search.ArmStats
 )
+
+// DefaultPortfolioArms is the strategy set a portfolio races when no arms
+// are configured, in deterministic first-exploration order.
+var DefaultPortfolioArms = search.DefaultPortfolioArms
 
 // The named-refiner registry, the clusterer registry's twin for search
 // strategies.
