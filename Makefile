@@ -10,7 +10,7 @@ GO ?= go
 #   make bench-search BENCH_LABEL=portfolio
 BENCH_LABEL ?=
 
-.PHONY: all build test race vet lint vuln bench bench-refine bench-search bench-serve bench-remap bench-smoke fuzz-smoke ci clean
+.PHONY: all build test race vet lint vuln bench bench-refine bench-search bench-serve bench-remap bench-replay bench-smoke fuzz-smoke ci clean
 
 all: ci
 
@@ -73,6 +73,14 @@ bench-serve:
 bench-remap:
 	$(GO) run ./cmd/mapbench -remapbench -bench-out BENCH_serve.json -bench-label "$(BENCH_LABEL)"
 
+# Replay a synthetic million-request stream (hit/miss/remap mix over the
+# Table 1–3 workloads) against an in-process multi-replica fleet —
+# consistent-hash cache ownership, peer forwarding, bounded admission —
+# and append the entry (throughput vs a single replica, latency
+# percentiles, shed rate) to the recorded trajectory.
+bench-replay:
+	$(GO) run ./cmd/mapbench -replaybench -bench-out BENCH_serve.json -bench-label "$(BENCH_LABEL)"
+
 # Fast benchmark gate for CI: the Go refinement benchmarks at a short
 # benchtime plus one quick pass of each harness (refinement kernel, the
 # per-refiner search benchmark — which covers every registered strategy,
@@ -87,14 +95,17 @@ bench-smoke:
 	$(GO) run ./cmd/mapbench -table 1 -refiner portfolio -starts 4 -trials 2 > /dev/null
 	$(GO) run ./cmd/mapbench -servebench -bench-quick
 	$(GO) run ./cmd/mapbench -remapbench -bench-quick
+	$(GO) run ./cmd/mapbench -replaybench -bench-quick
 
 # Short fuzzing pass so the checked-in fuzzers actually run in CI instead
 # of only replaying their corpus seeds: ~10s each on the text-format
-# parser and the server's request decoding/solve and remap paths.
+# parser and the server's request decoding/solve, remap and fleet
+# forwarding paths.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseProblem$$' -fuzztime 10s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz '^FuzzSolveRequest$$' -fuzztime 10s ./cmd/mapserve/
 	$(GO) test -run '^$$' -fuzz '^FuzzRemapRequest$$' -fuzztime 10s ./cmd/mapserve/
+	$(GO) test -run '^$$' -fuzz '^FuzzForwardRequest$$' -fuzztime 10s ./cmd/mapserve/
 
 ci: build vet lint test race bench-smoke fuzz-smoke
 

@@ -22,6 +22,10 @@
 //	mapbench -remapbench -bench-out BENCH_serve.json
 //	                             # measure warm-start remapping vs cold
 //	                             # re-solving on perturbed workloads
+//	mapbench -replaybench -bench-out BENCH_serve.json
+//	                             # replay a synthetic request stream against
+//	                             # an in-process multi-replica fleet and
+//	                             # record throughput, latency and shedding
 //
 // Independent experiments fan out across -workers goroutines; the output
 // is byte-identical at any worker count because every instance derives its
@@ -66,6 +70,7 @@ type benchFlags struct {
 	searchbench bool
 	servebench  bool
 	remapbench  bool
+	replaybench bool
 	benchOut    string
 	benchLabel  string
 	benchQuick  bool
@@ -92,9 +97,10 @@ func parseFlags(args []string) (benchFlags, error) {
 		searchb    = fs.Bool("searchbench", false, "run only the search-strategy benchmark (trials/sec of every registered refiner; see -bench-out)")
 		serveb     = fs.Bool("servebench", false, "run only the serving-throughput benchmark (cold vs warm solves/sec of the service layer; see -bench-out)")
 		remapb     = fs.Bool("remapbench", false, "run only the remapping benchmark (warm-start vs cold re-solve on perturbed workloads; see -bench-out)")
-		benchOut   = fs.String("bench-out", "", "with -refinebench/-searchbench/-servebench/-remapbench: append the measured entry to this JSON trajectory file (e.g. BENCH_refine.json, BENCH_search.json, BENCH_serve.json); empty = print only")
-		benchLabel = fs.String("bench-label", "", "with -refinebench/-searchbench/-servebench/-remapbench: label of the recorded entry (default \"current\")")
-		benchQuick = fs.Bool("bench-quick", false, "with -refinebench/-searchbench/-servebench/-remapbench: fast single-pass measurement for CI smoke tests")
+		replayb    = fs.Bool("replaybench", false, "run only the fleet replay benchmark (multi-replica cache sharding vs a single replica on a synthetic request stream; see -bench-out)")
+		benchOut   = fs.String("bench-out", "", "with -refinebench/-searchbench/-servebench/-remapbench/-replaybench: append the measured entry to this JSON trajectory file (e.g. BENCH_refine.json, BENCH_search.json, BENCH_serve.json); empty = print only")
+		benchLabel = fs.String("bench-label", "", "with -refinebench/-searchbench/-servebench/-remapbench/-replaybench: label of the recorded entry (default \"current\")")
+		benchQuick = fs.Bool("bench-quick", false, "with -refinebench/-searchbench/-servebench/-remapbench/-replaybench: fast single-pass measurement for CI smoke tests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return benchFlags{}, err
@@ -119,6 +125,7 @@ func parseFlags(args []string) (benchFlags, error) {
 		searchbench: *searchb,
 		servebench:  *serveb,
 		remapbench:  *remapb,
+		replaybench: *replayb,
 		benchOut:    *benchOut,
 		benchLabel:  *benchLabel,
 		benchQuick:  *benchQuick,
@@ -149,6 +156,9 @@ func report(f benchFlags, w io.Writer) error {
 	}
 	if f.remapbench {
 		return remapBenchReport(w, cfg.MasterSeed, f.benchLabel, f.benchOut, f.benchQuick)
+	}
+	if f.replaybench {
+		return replayBenchReport(w, cfg.MasterSeed, f.benchLabel, f.benchOut, f.benchQuick)
 	}
 	all := f.table == 0 && f.fig == "" && !f.ablation && !f.extension && !f.sweep
 

@@ -1,0 +1,54 @@
+package main
+
+// The -replaybench mode drives the fleet replay harness: a synthetic
+// request stream with a configurable hit/miss/remap mix over Table 1–3
+// workloads, replayed against an in-process multi-replica mapserve fleet
+// (consistent-hash cache ownership, peer forwarding, bounded admission).
+// It records aggregate throughput versus a single replica at the same
+// per-replica load, request-latency percentiles, fleet-wide exactly-once
+// execution counts, and overload shedding into BENCH_serve.json alongside
+// the -servebench and -remapbench trajectories.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"mimdmap/internal/experiment"
+)
+
+// replayBenchReport runs the replay harness and appends one labelled entry
+// to the JSON trajectory at outPath ("" prints to w only). quick runs the
+// short CI smoke shape instead of the recorded million-request measurement.
+func replayBenchReport(w io.Writer, seed int64, label, outPath string, quick bool) error {
+	if label == "" {
+		label = "current"
+	}
+	res, err := experiment.ReplayThroughput(experiment.Config{MasterSeed: seed}, experiment.ReplayOptions{Quick: quick})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "=== Fleet replay benchmark (%s) ===\n", label)
+	fmt.Fprintf(w, "stream: %d requests over %d uniques (%.0f%% remap), %d replicas\n",
+		res.Requests, res.Uniques, res.RemapFraction*100, res.Replicas)
+	fmt.Fprintf(w, "%-28s %14s\n", "single replica req/s", fmt.Sprintf("%.0f", res.SingleReqPerSec))
+	fmt.Fprintf(w, "%-28s %14s\n", "fleet req/s", fmt.Sprintf("%.0f", res.FleetReqPerSec))
+	fmt.Fprintf(w, "%-28s %13.2fx\n", "fleet speedup", res.FleetSpeedup)
+	fmt.Fprintf(w, "%-28s %8d == %d uniques touched\n", "fleet executions", res.FleetExecutions, res.UniquesTouched)
+	fmt.Fprintf(w, "%-28s %14d\n", "forwarded fills", res.ForwardedFills)
+	fmt.Fprintf(w, "latency: p50 %.3f ms, p99 %.3f ms (unloaded solve p50 %.3f ms, p99 %.3f ms)\n",
+		res.P50MS, res.P99MS, res.UnloadedP50MS, res.UnloadedP99MS)
+	fmt.Fprintf(w, "overload: %d/%d served (%.0f%% shed), served p99 %.3f ms\n",
+		res.OverloadServed, res.OverloadRequests, res.OverloadShedRate*100, res.OverloadServedP99MS)
+	if outPath == "" {
+		return nil
+	}
+	entry := serveEntry{
+		Label:     label,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Replay:    res,
+	}
+	return appendServeEntry(w, outPath, entry)
+}

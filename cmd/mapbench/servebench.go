@@ -19,13 +19,15 @@ import (
 )
 
 // serveEntry is one labelled benchmark run: a -servebench measurement
-// (Workloads), a -remapbench measurement (Remap), or both.
+// (Workloads), a -remapbench measurement (Remap), a -replaybench
+// measurement (Replay), or any combination.
 type serveEntry struct {
 	Label     string                     `json:"label"`
 	Date      string                     `json:"date"`
 	GoVersion string                     `json:"go_version"`
 	Workloads []experiment.ServeWorkload `json:"workloads,omitempty"`
 	Remap     []experiment.RemapWorkload `json:"remap,omitempty"`
+	Replay    *experiment.ReplayResult   `json:"replay,omitempty"`
 }
 
 // serveFile is the on-disk shape of BENCH_serve.json.
@@ -67,7 +69,7 @@ func serveBenchReport(w io.Writer, seed int64, label, outPath string, quick bool
 // trajectory at outPath, creating the file if needed.
 func appendServeEntry(w io.Writer, outPath string, entry serveEntry) error {
 	file := serveFile{
-		Description: "Serving-throughput trajectory: cold (NoCache, full staged pipeline) vs warm (response-cache replay) solves/sec of the service layer on Table 1–3 style workloads, plus warm-start remapping (`remap` entries: cold multi-start vs incumbent-seeded Remap on perturbed instances). Regenerate with `make bench-serve` / `make bench-remap`.",
+		Description: "Serving-throughput trajectory: cold (NoCache, full staged pipeline) vs warm (response-cache replay) solves/sec of the service layer on Table 1–3 style workloads, plus warm-start remapping (`remap` entries: cold multi-start vs incumbent-seeded Remap on perturbed instances) and fleet replay (`replay` entries: multi-replica consistent-hash cache sharding vs a single replica on a synthetic request stream). Regenerate with `make bench-serve` / `make bench-remap` / `make bench-replay`.",
 	}
 	if data, err := os.ReadFile(outPath); err == nil {
 		if err := json.Unmarshal(data, &file); err != nil {

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"mimdmap"
 )
 
 // FuzzSolveRequest fuzzes the JSON wire format the way the handler reads
@@ -76,6 +78,81 @@ func FuzzSolveRequest(f *testing.F) {
 			req.Topology != req2.Topology || req.Clusterer != req2.Clusterer ||
 			req.Refiner != req2.Refiner {
 			t.Fatal("round trip changed scalar request fields")
+		}
+	})
+}
+
+// FuzzForwardRequest fuzzes POST /fleet/solve's wire format — the peer
+// forwarding hop — both ways. Any body the decode step accepts must
+// rebuild into a LocalOnly request without panicking; and for every
+// forwardable request the projection round-trips: toForwardWire → JSON →
+// toForwardRequest yields a request with the same fingerprint, the
+// invariant fleet-wide cache sharding rests on (the owner's cache key must
+// match the requester's).
+func FuzzForwardRequest(f *testing.F) {
+	seeds := []string{
+		`{"problem": "problem 2\ntask 0 3\ntask 1 4\nedge 0 1 2\n", "topology": "ring-2", "clusterer": "blocks"}`,
+		`{"problem": "problem 2\ntask 0 3\ntask 1 4\nedge 0 1 2\n", "topology": "ring-2", "clusterer": "blocks",
+		  "incumbent": [1, 0], "no_shed": true, "seed": 7, "starts": 3}`,
+		`{"problem": "problem 1\ntask 0 2\n", "system": "system 2\nlink 0 1\n", "clusterer": "random",
+		  "refiner": "pairwise", "refinements": 5, "full_propagation": true}`,
+		`{"incumbent": [-1, 9223372036854775807]}`,
+		`{}`,
+	}
+	for _, seed := range seeds {
+		f.Add(seed)
+	}
+	solver := mimdmap.NewSolver(0)
+	f.Fuzz(func(t *testing.T, in string) {
+		dec := json.NewDecoder(strings.NewReader(in))
+		dec.DisallowUnknownFields()
+		var wire forwardRequest
+		if err := dec.Decode(&wire); err != nil {
+			return // rejected bodies just must not panic
+		}
+		req, err := toForwardRequest(&wire, 0)
+		if err != nil {
+			return // graph-level rejections are fine; they become 400s
+		}
+		if !req.LocalOnly {
+			t.Fatal("rebuilt forwarded request is not LocalOnly")
+		}
+		if req.NoShed != wire.NoShed {
+			t.Fatal("NoShed lost across the forwarding wire")
+		}
+
+		// The projection side: strip the receiver-side markers (a LocalOnly
+		// request legitimately declines — it must never hop again) and
+		// require fingerprint-preserving round-trips for whatever travels.
+		req.LocalOnly = false
+		fw, ok := toForwardWire(req)
+		if !ok {
+			return // unrepresentable state solves locally by design
+		}
+		out, err := json.Marshal(fw)
+		if err != nil {
+			t.Fatalf("forwardable request does not marshal: %v", err)
+		}
+		dec = json.NewDecoder(strings.NewReader(string(out)))
+		dec.DisallowUnknownFields()
+		var again forwardRequest
+		if err := dec.Decode(&again); err != nil {
+			t.Fatalf("projected wire does not re-parse: %v\n%s", err, out)
+		}
+		rebuilt, err := toForwardRequest(&again, 0)
+		if err != nil {
+			t.Fatalf("projected wire no longer converts: %v\n%s", err, out)
+		}
+		want, err := solver.Fingerprint(req)
+		if err != nil || want == "" {
+			return // invalid requests 400 at solve time; nothing to preserve
+		}
+		got, err := solver.Fingerprint(rebuilt)
+		if err != nil {
+			t.Fatalf("rebuilt fingerprint: %v", err)
+		}
+		if got != want {
+			t.Fatalf("fingerprint changed across the forwarding wire:\nwant %s\ngot  %s\nwire %s", want, got, out)
 		}
 	})
 }

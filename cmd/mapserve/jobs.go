@@ -4,11 +4,13 @@ package main
 // a placement service fronting slow clients or large batches wants
 // fire-and-poll instead: POST /jobs accepts a request (or a batch), answers
 // immediately with a job id, runs the solve in the background through the
-// same shared Solver and concurrency semaphore as /solve, and GET /jobs/{id}
-// reports the state and, once finished, the result. The store is bounded:
-// at most -jobs jobs are retained, finished jobs expire after -job-ttl, and
-// when the store is full of unfinished work new submissions are refused
-// with 503 rather than queueing without bound.
+// same shared Solver — and the same admission control — as /solve, and
+// GET /jobs/{id} reports the state and, once finished, the result. Job
+// requests are marked NoShed: the store already bounded them on submit, so
+// they wait out saturation instead of bouncing off the admission queue.
+// The store is bounded: at most -jobs jobs are retained, finished jobs
+// expire after -job-ttl, and when the store is full of unfinished work new
+// submissions are refused with 503 rather than queueing without bound.
 
 import (
 	"context"
@@ -92,11 +94,8 @@ type job struct {
 type jobStore struct {
 	// ctx bounds every background solve: when the server shuts down,
 	// running jobs are cancelled and report best-so-far or failure.
-	ctx    context.Context
-	solver *mimdmap.Solver
-	// sem is the solve-concurrency semaphore shared with POST /solve, so
-	// background jobs and interactive solves compete for the same slots.
-	sem      chan struct{}
+	ctx      context.Context
+	solver   *mimdmap.Solver
 	capacity int
 	ttl      time.Duration
 	// now is the store's clock; injectable so tests can advance it.
@@ -116,7 +115,7 @@ type jobStore struct {
 // finished entries expire after ttl. A nil clock means time.Now. Besides
 // the lazy pruning on submit and lookup, a background sweeper evicts
 // expired jobs even when no traffic arrives; it stops with ctx.
-func newJobStore(ctx context.Context, solver *mimdmap.Solver, sem chan struct{}, capacity int, ttl time.Duration, clock func() time.Time) *jobStore {
+func newJobStore(ctx context.Context, solver *mimdmap.Solver, capacity int, ttl time.Duration, clock func() time.Time) *jobStore {
 	if capacity <= 0 {
 		capacity = 256
 	}
@@ -129,7 +128,6 @@ func newJobStore(ctx context.Context, solver *mimdmap.Solver, sem chan struct{},
 	s := &jobStore{
 		ctx:      ctx,
 		solver:   solver,
-		sem:      sem,
 		capacity: capacity,
 		ttl:      ttl,
 		now:      clock,
@@ -208,6 +206,7 @@ func (s *jobStore) evictOldestFinished() bool {
 
 // submitSingle stores and launches a one-request job.
 func (s *jobStore) submitSingle(req *mimdmap.Request) (string, error) {
+	req.NoShed = true
 	return s.submit(0, func(ctx context.Context, j *job) {
 		resp, err := s.solver.Solve(ctx, req)
 		s.mu.Lock()
@@ -228,6 +227,9 @@ func (s *jobStore) submitSingle(req *mimdmap.Request) (string, error) {
 // SolveBatch output is worker-count independent, so the bound changes
 // nothing but pacing.
 func (s *jobStore) submitBatch(reqs []*mimdmap.Request) (string, error) {
+	for _, req := range reqs {
+		req.NoShed = true
+	}
 	return s.submit(len(reqs), func(ctx context.Context, j *job) {
 		resps, err := s.solver.SolveBatch(ctx, reqs)
 		s.mu.Lock()
@@ -263,8 +265,11 @@ func (s *jobStore) finish(j *job, state, errMsg string) {
 	}
 }
 
-// submit registers a job and launches its runner, which waits for a solve
-// slot before executing.
+// submit registers a job and launches its runner. The solve-slot wait
+// moved into the solver's admission stage (jobs are NoShed, so they wait
+// rather than shed); "queued" survives as the pre-launch state and a store
+// context cancelled while waiting surfaces as a failed job through the
+// solve error.
 func (s *jobStore) submit(batch int, run func(context.Context, *job)) (string, error) {
 	now := s.now()
 	s.mu.Lock()
@@ -286,15 +291,6 @@ func (s *jobStore) submit(batch int, run func(context.Context, *job)) (string, e
 	s.mu.Unlock()
 
 	go func() {
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		case <-s.ctx.Done():
-			s.mu.Lock()
-			s.finish(j, jobFailed, "server shutting down before the job got a solve slot")
-			s.mu.Unlock()
-			return
-		}
 		s.mu.Lock()
 		// The job may have been evicted from the store while queued; run
 		// anyway — the id is gone, nobody can observe the result.
@@ -303,6 +299,23 @@ func (s *jobStore) submit(batch int, run func(context.Context, *job)) (string, e
 		run(s.ctx, j)
 	}()
 	return j.id, nil
+}
+
+// drain blocks until every accepted job has finished or ctx expires —
+// the rolling-restart contract: SIGTERM must not lose accepted work.
+func (s *jobStore) drain(ctx context.Context) error {
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if s.counters().Active == 0 {
+			return nil
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 // status snapshots one job for serving.

@@ -187,8 +187,10 @@ func TestJobValidation(t *testing.T) {
 func TestJobStoreBoundsAndTTL(t *testing.T) {
 	_, prob := serveInstance(t)
 	solver := mimdmap.NewSolver(0)
-	sem := make(chan struct{}, 2)
-	store := newJobStore(context.Background(), solver, sem, 1, 30*time.Millisecond, nil)
+	// Two solve slots, no shed queue: saturating both via Acquire below
+	// leaves NoShed job requests waiting inside the solver's admit stage.
+	solver.Admission = mimdmap.NewAdmission(2, 0, time.Minute, nil)
+	store := newJobStore(context.Background(), solver, 1, 30*time.Millisecond, nil)
 
 	req := &mimdmap.Request{Problem: prob, Topology: "mesh-2x3", Clusterer: "blocks", Seed: 3}
 	id1, err := store.submitSingle(req)
@@ -225,8 +227,13 @@ func TestJobStoreBoundsAndTTL(t *testing.T) {
 	}
 
 	// A store full of unfinished work refuses new submissions.
-	sem <- struct{}{}
-	sem <- struct{}{} // all slots taken: the next job stays queued
+	ctx := context.Background()
+	if err := solver.Admission.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Admission.Acquire(ctx); err != nil {
+		t.Fatal(err) // all slots taken: the next job waits in admission
+	}
 	idQueued, err := store.submitSingle(req)
 	if err != nil {
 		t.Fatal(err)
@@ -234,8 +241,8 @@ func TestJobStoreBoundsAndTTL(t *testing.T) {
 	if _, err := store.submitSingle(req); err == nil {
 		t.Fatal("full store of live jobs accepted another submission")
 	}
-	<-sem
-	<-sem
+	solver.Admission.Release()
+	solver.Admission.Release()
 	waitState(idQueued, jobDone)
 
 	c := store.counters()
@@ -315,15 +322,18 @@ func TestJobsEndpointMethods(t *testing.T) {
 	}
 }
 
-// TestJobStoreShutdown pins that jobs queued behind a full semaphore fail
-// cleanly when the server context dies instead of leaking goroutines.
+// TestJobStoreShutdown pins that jobs waiting out a saturated admission
+// gate fail cleanly when the server context dies instead of leaking
+// goroutines.
 func TestJobStoreShutdown(t *testing.T) {
 	_, prob := serveInstance(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	solver := mimdmap.NewSolver(0)
-	sem := make(chan struct{}, 1)
-	sem <- struct{}{} // the only slot is taken forever
-	store := newJobStore(ctx, solver, sem, 4, time.Minute, nil)
+	solver.Admission = mimdmap.NewAdmission(1, 0, time.Minute, nil)
+	if err := solver.Admission.Acquire(context.Background()); err != nil {
+		t.Fatal(err) // the only slot is taken forever
+	}
+	store := newJobStore(ctx, solver, 4, time.Minute, nil)
 	id, err := store.submitSingle(&mimdmap.Request{Problem: prob, Topology: "ring-6", Clusterer: "blocks"})
 	if err != nil {
 		t.Fatal(err)
@@ -369,11 +379,10 @@ func TestJobStoreBackgroundSweep(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	solver := mimdmap.NewSolver(0)
-	sem := make(chan struct{}, 1)
 	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
 	// ttl 40ms → the real-time sweep ticker fires every 10ms; expiry itself
 	// is judged purely against the fake clock.
-	store := newJobStore(ctx, solver, sem, 4, 40*time.Millisecond, clock.Now)
+	store := newJobStore(ctx, solver, 4, 40*time.Millisecond, clock.Now)
 
 	id, err := store.submitSingle(&mimdmap.Request{Problem: prob, Topology: "ring-6", Clusterer: "blocks", Seed: 1})
 	if err != nil {

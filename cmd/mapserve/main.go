@@ -13,18 +13,23 @@
 //	mapserve                          # listen on :8080
 //	mapserve -addr :9090 -max-concurrent 16
 //	mapserve -jobs 512 -job-ttl 30m   # async job store bounds
+//	mapserve -addr :8081 -self http://host:8081 \
+//	  -peers http://host:8081,http://host:8082  # fleet mode (see below)
 //
 // Endpoints:
 //
-//	POST /solve       solve one mapping request (JSON in, JSON out)
-//	POST /remap       re-solve a changed instance, warm-started from a
-//	                  previous solution (prev_* fields; see below)
-//	POST /jobs        submit an async job — one request, or a batch as
-//	                  {"requests": [...]} — and get a job id back (202)
-//	GET  /jobs/{id}   job state and, once finished, its result(s)
-//	GET  /stats       solver cache/coalescing + job-store counters, JSON
-//	GET  /healthz     liveness probe
-//	GET  /strategies  registered clusterers and refiners, as JSON
+//	POST /solve        solve one mapping request (JSON in, JSON out)
+//	POST /remap        re-solve a changed instance, warm-started from a
+//	                   previous solution (prev_* fields; see below)
+//	POST /jobs         submit an async job — one request, or a batch as
+//	                   {"requests": [...]} — and get a job id back (202)
+//	GET  /jobs/{id}    job state and, once finished, its result(s)
+//	POST /fleet/solve  fleet-internal: a peer forwarding a cache fill to
+//	                   the replica owning its fingerprint
+//	GET  /stats        cache/coalescing, job-store, admission, fleet and
+//	                   per-endpoint latency counters, JSON
+//	GET  /healthz      liveness probe
+//	GET  /strategies   registered clusterers and refiners, as JSON
 //
 // A request names the machine either by topology spec or by a system graph
 // in the text format of the cmd tools, and the clustering either by
@@ -45,19 +50,34 @@
 // travel as "prev_system" text instead.
 //
 // Responses carry only deterministic fields — wall-clock timing travels in
-// the X-Solve-Duration header, and whether the response was replayed from
-// the solver's cache in the X-Cache header ("hit", "coalesced", "warm" or
-// "miss"), so neither perturbs the payload. "no_cache": true forces a full execution. Totals,
-// bound, and the optimality verdict are reproducible for a fixed request
-// body; the full body is byte-identical across clients except in one
-// corner: a multi-start request ("starts" > 1) where several chains prove
-// optimality may return any of the proven-optimal assignments, since the
-// first chain to reach the lower bound cancels the rest.
-// Malformed requests (bad JSON, unknown names, invalid graphs) get 400;
-// at most -max-concurrent solves run at once — shared between /solve and
-// background jobs — and extra requests queue until a slot frees or the
-// client gives up. SIGINT/SIGTERM drain in-flight requests before exit;
-// unfinished background jobs are cancelled.
+// the X-Solve-Duration header, and how the response was produced in the
+// X-Cache header ("hit", "coalesced", "forwarded", "warm" or "miss"), so
+// neither perturbs the payload. "no_cache": true forces a full execution.
+// Totals, bound, and the optimality verdict are reproducible for a fixed
+// request body; the full body is byte-identical across clients except in
+// one corner: a multi-start request ("starts" > 1) where several chains
+// prove optimality may return any of the proven-optimal assignments, since
+// the first chain to reach the lower bound cancels the rest.
+//
+// Fleet mode: with -peers (a static comma-separated replica list) and
+// -self (this replica's own entry), N replicas share one logical response
+// cache. Request fingerprints shard over the peer list by rendezvous
+// hashing; a replica that misses locally on a fingerprint another peer
+// owns forwards the fill to the owner's POST /fleet/solve, whose
+// singleflight guarantees each fingerprint is solved at most once
+// fleet-wide, and replicates the response into its own cache. Responses
+// are byte-identical whichever replica a client hits; a failed hop falls
+// back to a local solve, so a mid-restart fleet degrades to independent
+// replicas instead of failing requests.
+//
+// Malformed requests (bad JSON, unknown names, invalid graphs) get 400. At
+// most -max-concurrent solves run at once — shared between /solve,
+// forwarded fills and background jobs — with a bounded admission queue in
+// front (-queue seats, -queue-wait patience): cache hits and coalesced
+// requests are always served, but a request needing a fresh execution past
+// the queue's capacity or patience is shed with 503 + Retry-After.
+// SIGINT/SIGTERM drain in-flight requests and accepted background jobs
+// (within -drain) before exit.
 package main
 
 import (
@@ -68,6 +88,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -94,16 +115,22 @@ func main() {
 }
 
 // run parses args and serves until ctx is cancelled (the signal handler) or
-// the listener fails.
+// the listener fails. On cancellation it drains: stop accepting, finish
+// in-flight requests, finish queued background jobs, then exit — a rolling
+// restart loses no accepted work within the -drain budget.
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mapserve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		limit   = fs.Int("max-concurrent", 8, "max mapping requests solved at once (queued beyond that)")
-		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-		workers = fs.Int("workers", 0, "max refinement chains per request (0 = all CPUs)")
-		jobCap  = fs.Int("jobs", 256, "max async jobs retained (finished jobs are evicted first when full)")
-		jobTTL  = fs.Duration("job-ttl", 10*time.Minute, "how long finished async jobs stay retrievable")
+		addr      = fs.String("addr", ":8080", "listen address")
+		limit     = fs.Int("max-concurrent", 8, "max mapping requests solved at once")
+		queue     = fs.Int("queue", 64, "max requests waiting for a solve slot before shedding (503)")
+		queueWait = fs.Duration("queue-wait", time.Second, "max time a request waits for a solve slot before being shed")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		workers   = fs.Int("workers", 0, "max refinement chains per request (0 = all CPUs)")
+		jobCap    = fs.Int("jobs", 256, "max async jobs retained (finished jobs are evicted first when full)")
+		jobTTL    = fs.Duration("job-ttl", 10*time.Minute, "how long finished async jobs stay retrievable")
+		self      = fs.String("self", "", "this replica's own base URL in the -peers list (fleet mode)")
+		peers     = fs.String("peers", "", "comma-separated base URLs of every fleet replica, including self")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -114,40 +141,77 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *limit <= 0 {
 		return fmt.Errorf("-max-concurrent must be positive, got %d", *limit)
 	}
+	peerList := parsePeers(*peers)
+	if len(peerList) > 0 && *self == "" {
+		return errors.New("-peers requires -self (this replica's own entry in the list)")
+	}
+
+	// Background jobs get their own context, cancelled only after the HTTP
+	// drain: a SIGTERM must let accepted jobs finish (within -drain), not
+	// kill them mid-solve.
+	jobCtx, stopJobs := context.WithCancel(context.Background())
+	defer stopJobs()
 
 	// The shared solver's batch fan-out is pinned to 1: a batch job holds
 	// exactly one of the -max-concurrent solve slots, so its members must
 	// run sequentially inside it or a single big batch would multiply the
 	// concurrency bound by the CPU count. Batch throughput comes from
 	// submitting several jobs, each competing for its own slot.
+	srv, err := newServer(jobCtx, mimdmap.NewSolver(1), serverConfig{
+		limit:     *limit,
+		workers:   *workers,
+		jobCap:    *jobCap,
+		jobTTL:    *jobTTL,
+		queue:     *queue,
+		queueSet:  true,
+		queueWait: *queueWait,
+		self:      strings.TrimRight(strings.TrimSpace(*self), "/"),
+		peers:     peerList,
+	})
+	if err != nil {
+		return err
+	}
 	server := &http.Server{
-		Addr: *addr,
-		Handler: newHandler(ctx, mimdmap.NewSolver(1), serverConfig{
-			limit:   *limit,
-			workers: *workers,
-			jobCap:  *jobCap,
-			jobTTL:  *jobTTL,
-		}),
+		Handler: srv.handler,
 		// A long-running public-facing process needs bounded reads: drop
 		// slowloris clients instead of accumulating their connections.
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
+	// An explicit listener so the real bound address (":0" in tests) is
+	// known before serving starts.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- server.ListenAndServe() }()
-	fmt.Fprintf(stdout, "mapserve: listening on %s (max %d concurrent solves)\n", *addr, *limit)
+	go func() { errc <- server.Serve(ln) }()
+	if srv.ring != nil {
+		fmt.Fprintf(stdout, "mapserve: listening on %s (max %d concurrent solves, fleet of %d as %s)\n",
+			ln.Addr(), *limit, srv.ring.Size(), srv.ring.Self())
+	} else {
+		fmt.Fprintf(stdout, "mapserve: listening on %s (max %d concurrent solves)\n", ln.Addr(), *limit)
+	}
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 		fmt.Fprintln(stdout, "mapserve: draining...")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := server.Shutdown(shutdownCtx); err != nil {
+		// Order matters: stop accepting and finish in-flight requests
+		// first, then wait out queued background jobs, and only then cancel
+		// their context — jobs still running when the budget expires are
+		// cut off by stopJobs.
+		if err := server.Shutdown(drainCtx); err != nil {
 			return err
 		}
+		if err := srv.jobs.drain(drainCtx); err != nil {
+			fmt.Fprintln(stdout, "mapserve: drain budget expired with jobs still running")
+		}
+		stopJobs()
 		fmt.Fprintln(stdout, "mapserve: bye")
 		return nil
 	}
@@ -271,27 +335,114 @@ func strategyDocs(names []string, doc func(string) string) map[string]string {
 }
 
 // statsResponse is the wire form of GET /stats: the solver's cache and
-// coalescing counters plus the job store's.
+// coalescing counters, the job store's, admission control, per-endpoint
+// latency histograms, and — in fleet mode — the fleet section.
 type statsResponse struct {
-	Cache mimdmap.SolverStats `json:"cache"`
-	Jobs  jobCounters         `json:"jobs"`
+	Cache     mimdmap.SolverStats                  `json:"cache"`
+	Jobs      jobCounters                          `json:"jobs"`
+	Admission mimdmap.AdmissionStats               `json:"admission"`
+	Latency   map[string]mimdmap.HistogramSnapshot `json:"latency"`
+	Fleet     *fleetStats                          `json:"fleet,omitempty"`
 }
 
 // serverConfig carries the handler's bounds; zero job fields get the
-// defaults of newJobStore.
+// defaults of newJobStore, zero admission fields the defaults below.
 type serverConfig struct {
 	limit   int
 	workers int
 	jobCap  int
 	jobTTL  time.Duration
+
+	// queue and queueWait shape admission control: how many requests may
+	// wait for a solve slot beyond the -max-concurrent in flight (0 with
+	// queueSet false = 64), and how long one may wait before being shed
+	// (0 = 1s).
+	queue     int
+	queueSet  bool
+	queueWait time.Duration
+
+	// self and peers switch on fleet mode when peers has ≥ 2 entries:
+	// fingerprint ownership shards over the peer list and misses forward
+	// to the owner. self must be a member of peers.
+	self  string
+	peers []string
+	// client performs peer hops (nil = a default client with a bounded
+	// per-hop timeout).
+	client *http.Client
+
+	// clock drives the latency histograms and the admission deadline
+	// logic (nil = time.Now); injectable for tests.
+	clock func() time.Time
 }
 
-// newHandler builds the server's routing: POST /solve behind a semaphore of
-// the given width, the async job endpoints sharing it, and the read-only
-// probes. ctx bounds background job execution. Exposed for httptest.
+// server is one mapserve instance: the routing plus the handles run needs
+// for graceful shutdown (the job store) and that tests need for
+// assertions.
+type server struct {
+	solver    *mimdmap.Solver
+	jobs      *jobStore
+	admission *mimdmap.Admission
+	ring      *mimdmap.FleetRing // nil in single-process mode
+	metrics   *endpointMetrics
+	handler   http.Handler
+}
+
+// newServer builds the server: admission control in front of the solver's
+// execute stage (replacing the old unbounded semaphore queue), the fleet
+// forward hook when cfg names peers, per-endpoint latency histograms, and
+// the routing. It installs Admission and Forward on solver — the solver
+// must not be shared with another server. ctx bounds background job
+// execution; run keeps it alive through the drain so jobs finish before
+// exit.
+func newServer(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) (*server, error) {
+	queue := cfg.queue
+	if !cfg.queueSet && queue == 0 {
+		queue = 64
+	}
+	queueWait := cfg.queueWait
+	if queueWait <= 0 {
+		queueWait = time.Second
+	}
+	s := &server{
+		solver:    solver,
+		admission: mimdmap.NewAdmission(cfg.limit, queue, queueWait, cfg.clock),
+		metrics:   newEndpointMetrics(cfg.clock),
+	}
+	solver.Admission = s.admission
+	if len(cfg.peers) > 0 {
+		ring, err := mimdmap.NewFleetRing(cfg.self, cfg.peers)
+		if err != nil {
+			return nil, err
+		}
+		s.ring = ring
+		if ring.Size() > 1 {
+			client := cfg.client
+			if client == nil {
+				client = &http.Client{Timeout: defaultForwardTimeout}
+			}
+			solver.Forward = newForwardHook(ring, client)
+		}
+	}
+	s.jobs = newJobStore(ctx, solver, cfg.jobCap, cfg.jobTTL, cfg.clock)
+	s.handler = s.routes(cfg)
+	return s, nil
+}
+
+// newHandler is the httptest seam kept from the single-process server: it
+// builds a server from an always-valid test config and returns its
+// routing. Configs that can fail (a bad peer list) must go through
+// newServer; newHandler panics on them by design.
 func newHandler(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) http.Handler {
-	sem := make(chan struct{}, cfg.limit)
-	jobs := newJobStore(ctx, solver, sem, cfg.jobCap, cfg.jobTTL, nil)
+	s, err := newServer(ctx, solver, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s.handler
+}
+
+// routes builds the mux.
+func (s *server) routes(cfg serverConfig) http.Handler {
+	solver, jobs := s.solver, s.jobs
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -312,18 +463,15 @@ func newHandler(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) h
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		writeJSON(w, http.StatusOK, statsResponse{
-			Cache: solver.Stats(),
-			Jobs:  jobs.counters(),
-		})
+		writeJSON(w, http.StatusOK, s.stats())
 	})
-	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/solve", s.metrics.wrap("solve", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
-		// Decode and validate before taking a solve slot, so slow uploads
-		// and garbage requests never starve real solving work.
+		// Decode and validate before the solver's admission gate, so slow
+		// uploads and garbage requests never occupy solve capacity.
 		var wire solveRequest
 		if !decodeBody(w, r, &wire) {
 			return
@@ -333,23 +481,15 @@ func newHandler(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) h
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		select {
-		case sem <- struct{}{}:
-			defer func() { <-sem }()
-		case <-r.Context().Done():
-			writeError(w, http.StatusServiceUnavailable, "cancelled while queued")
-			return
-		}
-
 		began := time.Now()
 		resp, err := solver.Solve(r.Context(), req)
 		if err != nil {
-			writeSolveError(w, err)
+			s.writeSolveError(w, err)
 			return
 		}
 		writeSolved(w, began, resp)
-	})
-	mux.HandleFunc("/remap", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/remap", s.metrics.wrap("remap", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
 			return
@@ -368,23 +508,38 @@ func newHandler(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) h
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		select {
-		case sem <- struct{}{}:
-			defer func() { <-sem }()
-		case <-r.Context().Done():
-			writeError(w, http.StatusServiceUnavailable, "cancelled while queued")
-			return
-		}
-
 		began := time.Now()
 		resp, err := solver.Remap(r.Context(), prev, req)
 		if err != nil {
-			writeSolveError(w, err)
+			s.writeSolveError(w, err)
 			return
 		}
 		writeSolved(w, began, resp)
-	})
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	// The fleet-internal fill endpoint: a peer that does not own a
+	// fingerprint re-posts the request here. LocalOnly is forced on by
+	// toForwardRequest, so a forwarded request never hops again, and the
+	// owner's admission applies — a saturated owner sheds the hop with 503
+	// and the requester falls back to solving locally.
+	mux.HandleFunc("POST /fleet/solve", s.metrics.wrap("fleet_solve", func(w http.ResponseWriter, r *http.Request) {
+		var wire forwardRequest
+		if !decodeBody(w, r, &wire) {
+			return
+		}
+		req, err := toForwardRequest(&wire, cfg.workers)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		began := time.Now()
+		resp, err := solver.Solve(r.Context(), req)
+		if err != nil {
+			s.writeSolveError(w, err)
+			return
+		}
+		writeSolved(w, began, resp)
+	}))
+	mux.HandleFunc("POST /jobs", s.metrics.wrap("jobs_submit", func(w http.ResponseWriter, r *http.Request) {
 		var wire jobRequest
 		if !decodeBody(w, r, &wire) {
 			return
@@ -401,8 +556,8 @@ func newHandler(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) h
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Location", "/jobs/"+id)
 		writeJSON(w, http.StatusAccepted, jobCreatedResponse{ID: id, URL: "/jobs/" + id})
-	})
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /jobs/{id}", s.metrics.wrap("jobs_status", func(w http.ResponseWriter, r *http.Request) {
 		status, ok := jobs.status(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, "unknown or expired job")
@@ -410,27 +565,105 @@ func newHandler(ctx context.Context, solver *mimdmap.Solver, cfg serverConfig) h
 		}
 		w.Header().Set("Content-Type", "application/json")
 		writeJSON(w, http.StatusOK, status)
-	})
+	}))
 	return mux
 }
 
+// stats assembles GET /stats: solver cache counters, job-store counters,
+// admission control, per-endpoint latency histograms, and — in fleet mode
+// — the local/forwarded split.
+func (s *server) stats() statsResponse {
+	cache := s.solver.Stats()
+	out := statsResponse{
+		Cache:     cache,
+		Jobs:      s.jobs.counters(),
+		Admission: s.admission.Stats(),
+		Latency:   s.metrics.snapshot(),
+	}
+	if s.ring != nil {
+		out.Fleet = &fleetStats{
+			Self:            s.ring.Self(),
+			Peers:           s.ring.Peers(),
+			Forwarded:       cache.Forwarded,
+			ForwardErrors:   cache.ForwardErrors,
+			LocalExecutions: cache.Executions,
+		}
+	}
+	return out
+}
+
 // writeSolveError maps a solver error onto the wire: validation failures
-// are the client's fault (400), anything else the server's (500).
-func writeSolveError(w http.ResponseWriter, err error) {
+// are the client's fault (400), a shed request is 503 with the admission
+// layer's Retry-After hint, a request abandoned or timed out by its client
+// is 503 too, and anything else is the server's fault (500).
+func (s *server) writeSolveError(w http.ResponseWriter, err error) {
 	var verr *mimdmap.ValidationError
 	if errors.As(err, &verr) {
 		writeError(w, http.StatusBadRequest, verr.Error())
 		return
 	}
+	if errors.Is(err, mimdmap.ErrSaturated) {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.admission.RetryAfter().Seconds())))
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
 	writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+// endpointMetrics records per-endpoint request latencies into fixed-bucket
+// histograms, read back by GET /stats and the replay harness. Histograms
+// are created up front for a fixed endpoint set, so wrap and snapshot
+// never take a lock.
+type endpointMetrics struct {
+	clock func() time.Time
+	hists map[string]*mimdmap.Histogram
+}
+
+// endpointNames is the fixed set of instrumented endpoints.
+var endpointNames = []string{"solve", "remap", "fleet_solve", "jobs_submit", "jobs_status"}
+
+func newEndpointMetrics(clock func() time.Time) *endpointMetrics {
+	if clock == nil {
+		clock = time.Now
+	}
+	m := &endpointMetrics{clock: clock, hists: make(map[string]*mimdmap.Histogram, len(endpointNames))}
+	for _, name := range endpointNames {
+		m.hists[name] = &mimdmap.Histogram{}
+	}
+	return m
+}
+
+// wrap times h on the injected clock and records into the named histogram.
+func (m *endpointMetrics) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := m.hists[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		began := m.clock()
+		h(w, r)
+		hist.Observe(m.clock().Sub(began))
+	}
+}
+
+// snapshot reads every endpoint's histogram (JSON maps serialize sorted by
+// key, so /stats bodies stay deterministically ordered).
+func (m *endpointMetrics) snapshot() map[string]mimdmap.HistogramSnapshot {
+	out := make(map[string]mimdmap.HistogramSnapshot, len(m.hists))
+	for name, h := range m.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
 }
 
 // writeSolved answers a successful solve or remap: timing in
 // X-Solve-Duration, how the response was produced in X-Cache — "hit"
 // (response-cache replay), "coalesced" (shared another caller's in-flight
-// execution), "warm" (solved here, refinement warm-started from a
-// projected previous assignment) or "miss" (solved here from scratch) —
-// and the deterministic payload as the body.
+// execution), "forwarded" (filled by the fleet peer owning the
+// fingerprint, named in X-Fleet-Owner), "warm" (solved here, refinement
+// warm-started from a projected previous assignment) or "miss" (solved
+// here from scratch) — and the deterministic payload as the body.
 func writeSolved(w http.ResponseWriter, began time.Time, resp *mimdmap.Response) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Solve-Duration", time.Since(began).String())
@@ -441,10 +674,15 @@ func writeSolved(w http.ResponseWriter, began time.Time, resp *mimdmap.Response)
 		// Shared another caller's in-flight solve: not replayed from
 		// the cache, not solved by this request either.
 		w.Header().Set("X-Cache", "coalesced")
+	case resp.Diagnostics.Forwarded:
+		w.Header().Set("X-Cache", "forwarded")
 	case resp.Diagnostics.WarmStart:
 		w.Header().Set("X-Cache", "warm")
 	default:
 		w.Header().Set("X-Cache", "miss")
+	}
+	if resp.Diagnostics.Forwarded && resp.Diagnostics.Owner != "" {
+		w.Header().Set("X-Fleet-Owner", resp.Diagnostics.Owner)
 	}
 	writeJSON(w, http.StatusOK, toWire(resp))
 }

@@ -1,0 +1,53 @@
+package mimdmap
+
+import (
+	"time"
+
+	"mimdmap/internal/fleet"
+	"mimdmap/internal/service"
+)
+
+// Fleet mode. N mapserve replicas share one logical response cache by
+// sharding request-fingerprint ownership over a rendezvous-hash ring: a
+// replica that misses its local cache forwards the fill to the owner
+// (Solver.Forward), whose singleflight guarantees each fingerprint is
+// solved at most once fleet-wide, and admission control (Solver.Admission)
+// sheds fresh work under overload while replayed responses keep flowing.
+// The building blocks live in internal/fleet; these aliases expose them to
+// serving layers and load harnesses built on the public API.
+type (
+	// FleetRing shards fingerprint ownership over a static peer list by
+	// rendezvous hashing — every replica built from the same list agrees on
+	// every key's owner without coordination. (Ring, the topology
+	// constructor, keeps its historical name; hence the Fleet prefix.)
+	FleetRing = fleet.Ring
+	// Admission is bounded-queue admission control with deadline-aware
+	// load shedding in front of a Solver's execute stage.
+	Admission = fleet.Admission
+	// AdmissionStats is a JSON-ready snapshot of admission counters.
+	AdmissionStats = fleet.AdmissionStats
+	// Histogram is a fixed-bucket latency histogram for per-endpoint tail
+	// tracking (GET /stats, the replay harness).
+	Histogram = fleet.Histogram
+	// HistogramSnapshot is a Histogram's JSON-ready summary.
+	HistogramSnapshot = fleet.HistogramSnapshot
+	// ForwardFunc routes a cache fill to the fleet peer owning the
+	// request's fingerprint; see Solver.Forward.
+	ForwardFunc = service.ForwardFunc
+)
+
+// ErrSaturated reports that admission control shed a request; serving
+// layers map it to 503 + Retry-After with errors.Is.
+var ErrSaturated = fleet.ErrSaturated
+
+// NewFleetRing builds a rendezvous-hash ring from this replica's own peer
+// name and the full peer list (which must include self).
+func NewFleetRing(self string, peers []string) (*FleetRing, error) {
+	return fleet.NewRing(self, peers)
+}
+
+// NewAdmission builds admission control over `slots` concurrent executions
+// with a bounded wait queue; see fleet.NewAdmission.
+func NewAdmission(slots, queue int, maxWait time.Duration, clock func() time.Time) *Admission {
+	return fleet.NewAdmission(slots, queue, maxWait, clock)
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestReplayThroughputQuick drives the whole harness at smoke size and
+// checks the structural invariants the recorded numbers rest on; the
+// throughput thresholds themselves are properties of the recorded full
+// run, not of a loaded CI machine.
+func TestReplayThroughputQuick(t *testing.T) {
+	res, err := ReplayThroughput(Config{MasterSeed: 1991}, ReplayOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replicas != 2 {
+		t.Fatalf("quick replicas = %d, want 2", res.Replicas)
+	}
+	if res.Requests <= 0 || res.Uniques <= 0 {
+		t.Fatalf("degenerate stream: %+v", res)
+	}
+	// The self-check inside ReplayThroughput already failed the run if
+	// executions diverged from uniques; pin the recorded pair anyway.
+	if res.FleetExecutions != uint64(res.UniquesTouched) || res.UniquesTouched == 0 {
+		t.Fatalf("exactly-once bookkeeping: executions=%d touched=%d", res.FleetExecutions, res.UniquesTouched)
+	}
+	if res.SingleReqPerSec <= 0 || res.FleetReqPerSec <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	if res.UnloadedP99MS <= 0 || res.P99MS < 0 {
+		t.Fatalf("latency not measured: %+v", res)
+	}
+	if res.OverloadServed+res.OverloadShed != res.OverloadRequests {
+		t.Fatalf("overload accounting: served=%d shed=%d of %d",
+			res.OverloadServed, res.OverloadShed, res.OverloadRequests)
+	}
+	if res.OverloadServed == 0 {
+		t.Fatal("overload phase served nothing — admission is shedding everything")
+	}
+}
+
+// TestReplayFleetSharesFingerprints pins the dedup property at a size the
+// smoke test's auto-calibration might not reach: a 3-replica fleet over a
+// small fixed stream still executes each unique exactly once and forwards
+// at least one fill across the ring.
+func TestReplayFleetSharesFingerprints(t *testing.T) {
+	res, err := ReplayThroughput(Config{MasterSeed: 7}, ReplayOptions{
+		Quick:            true,
+		Replicas:         3,
+		Requests:         600,
+		OverloadRequests: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replicas != 3 {
+		t.Fatalf("replicas = %d, want 3", res.Replicas)
+	}
+	if res.ForwardedFills == 0 {
+		t.Fatal("no fill crossed the ring in a 3-replica fleet")
+	}
+	if res.FleetExecutions != uint64(res.UniquesTouched) {
+		t.Fatalf("executions=%d touched=%d", res.FleetExecutions, res.UniquesTouched)
+	}
+}

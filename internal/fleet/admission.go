@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated reports that admission control shed a request: every solve
+// slot was busy and either the bounded queue was full, the queue wait
+// exceeded the configured bound, or the request's own deadline could not
+// survive the queue. Serving layers map it to 503 + Retry-After.
+var ErrSaturated = errors.New("fleet: saturated, request shed")
+
+// Admission is bounded-queue admission control in front of a solve
+// capacity: `slots` requests run at once, at most `queue` more wait, and
+// everything beyond that is shed immediately with ErrSaturated instead of
+// queueing without bound. Shedding early is the point — under overload a
+// request that cannot be served within maxWait is cheaper to refuse now
+// (the client retries against a less-loaded replica) than to park until its
+// client gives up, and the served requests keep a bounded tail because
+// nothing waits longer than maxWait.
+//
+// The zero value is not usable; construct with NewAdmission. Safe for
+// concurrent use.
+type Admission struct {
+	slots   chan struct{}
+	queue   chan struct{}
+	maxWait time.Duration
+	clock   func() time.Time
+
+	inFlight atomic.Int64
+	queued   atomic.Int64
+
+	admitted      atomic.Uint64
+	shedQueueFull atomic.Uint64
+	shedTimeout   atomic.Uint64
+	shedDeadline  atomic.Uint64
+	canceled      atomic.Uint64
+}
+
+// NewAdmission builds admission control over `slots` concurrent executions
+// with a wait queue of `queue` (0 = no queue: a busy fleet sheds instantly)
+// and a per-request queue-wait bound of maxWait (<=0 = 1s). clock supplies
+// the deadline-aware shed decision's notion of now (nil = time.Now);
+// injecting a fake clock makes the deadline path testable.
+func NewAdmission(slots, queue int, maxWait time.Duration, clock func() time.Time) *Admission {
+	if slots <= 0 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	if maxWait <= 0 {
+		maxWait = time.Second
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Admission{
+		slots:   make(chan struct{}, slots),
+		queue:   make(chan struct{}, queue),
+		maxWait: maxWait,
+		clock:   clock,
+	}
+}
+
+// Acquire takes a solve slot, queueing up to maxWait when all slots are
+// busy. It sheds — returns an error wrapping ErrSaturated — when the queue
+// is full, when the wait bound expires, or when the request's own ctx
+// deadline already (or provably will) expire before a slot could be put to
+// use. A nil return means the caller holds a slot and must Release it.
+func (a *Admission) Acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.admit()
+		return nil
+	default:
+	}
+	// All slots busy: decide whether queueing can possibly help. A request
+	// whose own deadline is closer than the queue-wait bound gets the
+	// tighter bound; one whose deadline already passed is shed without
+	// occupying a queue seat at all.
+	wait := a.maxWait
+	deadlineBound := false
+	if d, ok := ctx.Deadline(); ok {
+		remaining := d.Sub(a.clock())
+		if remaining <= 0 {
+			a.shedDeadline.Add(1)
+			return fmt.Errorf("%w (deadline exhausted before queueing)", ErrSaturated)
+		}
+		if remaining < wait {
+			wait = remaining
+			deadlineBound = true
+		}
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.shedQueueFull.Add(1)
+		return fmt.Errorf("%w (queue full)", ErrSaturated)
+	}
+	a.queued.Add(1)
+	defer func() {
+		a.queued.Add(-1)
+		<-a.queue
+	}()
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.admit()
+		return nil
+	case <-timer.C:
+		if deadlineBound {
+			a.shedDeadline.Add(1)
+			return fmt.Errorf("%w (deadline would expire in queue)", ErrSaturated)
+		}
+		a.shedTimeout.Add(1)
+		return fmt.Errorf("%w (no slot within %v)", ErrSaturated, wait)
+	case <-ctx.Done():
+		// The request's own deadline expiring in the queue is a deadline
+		// shed — the server refused it because it could no longer be served
+		// in time — while an explicit cancel is the client abandoning it.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			a.shedDeadline.Add(1)
+			return fmt.Errorf("%w (deadline expired in queue)", ErrSaturated)
+		}
+		a.canceled.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Join takes a solve slot without the shedding rules: it waits as long as
+// ctx allows, bypassing the bounded queue. Background work that was already
+// admitted once — an async job that holds a store slot — uses Join, so jobs
+// are never shed after acceptance; interactive traffic uses Acquire.
+func (a *Admission) Join(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.admit()
+		return nil
+	case <-ctx.Done():
+		a.canceled.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by Acquire or Join.
+func (a *Admission) Release() {
+	a.inFlight.Add(-1)
+	<-a.slots
+}
+
+func (a *Admission) admit() {
+	a.inFlight.Add(1)
+	a.admitted.Add(1)
+}
+
+// RetryAfter suggests a client back-off for a shed request — the queue-wait
+// bound rounded up to whole seconds (the granularity of the Retry-After
+// header), at least 1s.
+func (a *Admission) RetryAfter() time.Duration {
+	d := a.maxWait.Round(time.Second)
+	if d < a.maxWait {
+		d += time.Second
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// AdmissionStats is a point-in-time snapshot of the admission counters,
+// JSON-ready for GET /stats. Shed is the sum of the three shed reasons;
+// Canceled counts queue waits abandoned by the client (not sheds — the
+// server refused nothing).
+type AdmissionStats struct {
+	Slots     int   `json:"slots"`
+	QueueCap  int   `json:"queue_cap"`
+	MaxWaitMS int64 `json:"max_wait_ms"`
+	InFlight  int64 `json:"in_flight"`
+	Queued    int64 `json:"queued"`
+
+	Admitted      uint64 `json:"admitted"`
+	Shed          uint64 `json:"shed"`
+	ShedQueueFull uint64 `json:"shed_queue_full"`
+	ShedTimeout   uint64 `json:"shed_timeout"`
+	ShedDeadline  uint64 `json:"shed_deadline"`
+	Canceled      uint64 `json:"canceled"`
+}
+
+// Stats snapshots the admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	full := a.shedQueueFull.Load()
+	timeout := a.shedTimeout.Load()
+	deadline := a.shedDeadline.Load()
+	return AdmissionStats{
+		Slots:         cap(a.slots),
+		QueueCap:      cap(a.queue),
+		MaxWaitMS:     a.maxWait.Milliseconds(),
+		InFlight:      a.inFlight.Load(),
+		Queued:        a.queued.Load(),
+		Admitted:      a.admitted.Load(),
+		Shed:          full + timeout + deadline,
+		ShedQueueFull: full,
+		ShedTimeout:   timeout,
+		ShedDeadline:  deadline,
+		Canceled:      a.canceled.Load(),
+	}
+}

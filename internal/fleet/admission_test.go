@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(2, 0, time.Second, nil)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.InFlight != 2 || st.Admitted != 2 {
+		t.Fatalf("stats after two admits: %+v", st)
+	}
+	a.Release()
+	a.Release()
+	if st := a.Stats(); st.InFlight != 0 {
+		t.Fatalf("in_flight after release: %d", st.InFlight)
+	}
+}
+
+func TestAdmissionShedsWhenQueueFull(t *testing.T) {
+	a := NewAdmission(1, 0, time.Second, nil)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Acquire(ctx)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("want ErrSaturated with zero queue, got %v", err)
+	}
+	st := a.Stats()
+	if st.Shed != 1 || st.ShedQueueFull != 1 {
+		t.Fatalf("shed counters: %+v", st)
+	}
+	a.Release()
+	// Capacity must be fully restored after the shed.
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a.Release()
+}
+
+func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
+	a := NewAdmission(1, 1, 5*time.Second, nil)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- a.Acquire(ctx) }()
+	// Wait until the second request is parked in the queue, then free the
+	// slot; the queued request must get it.
+	deadline := time.After(2 * time.Second)
+	for a.Stats().Queued == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second request never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	a.Release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued request shed: %v", err)
+	}
+	a.Release()
+	if st := a.Stats(); st.Admitted != 2 || st.Shed != 0 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+func TestAdmissionShedsOnQueueTimeout(t *testing.T) {
+	a := NewAdmission(1, 1, 10*time.Millisecond, nil)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+	err := a.Acquire(ctx)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("want ErrSaturated after queue timeout, got %v", err)
+	}
+	if st := a.Stats(); st.ShedTimeout != 1 || st.Queued != 0 {
+		t.Fatalf("counters after timeout: %+v", st)
+	}
+}
+
+// A request whose own deadline already passed must be shed before taking a
+// queue seat; one whose deadline is tighter than maxWait gets the tighter
+// bound, and its timeout counts as a deadline shed.
+func TestAdmissionDeadlineAware(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	a := NewAdmission(1, 4, time.Hour, clock)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+
+	expired, cancel := context.WithDeadline(context.Background(), now.Add(-time.Second))
+	defer cancel()
+	if err := a.Acquire(expired); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("expired deadline: want ErrSaturated, got %v", err)
+	}
+	if st := a.Stats(); st.ShedDeadline != 1 {
+		t.Fatalf("expired deadline not counted: %+v", st)
+	}
+
+	// Deadline-bounded queue wait: the fake clock says 5ms remain, so the
+	// wait times out quickly (real timer) and is attributed to the deadline.
+	tight, cancel2 := context.WithDeadline(context.Background(), now.Add(5*time.Millisecond))
+	defer cancel2()
+	if err := a.Acquire(tight); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("tight deadline: want ErrSaturated, got %v", err)
+	}
+	if st := a.Stats(); st.ShedDeadline != 2 {
+		t.Fatalf("tight deadline not counted as deadline shed: %+v", st)
+	}
+}
+
+func TestAdmissionCancelWhileQueuedIsNotShed(t *testing.T) {
+	a := NewAdmission(1, 1, time.Hour, nil)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- a.Acquire(ctx) }()
+	deadline := time.After(2 * time.Second)
+	for a.Stats().Queued == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("request never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	st := a.Stats()
+	if st.Shed != 0 || st.Canceled != 1 {
+		t.Fatalf("cancel misattributed: %+v", st)
+	}
+}
+
+// Join must wait out saturation rather than shed: async jobs were already
+// admitted by the job store and must never bounce off the solve queue.
+func TestAdmissionJoinBypassesShedding(t *testing.T) {
+	a := NewAdmission(1, 0, time.Millisecond, nil)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- a.Join(context.Background()) }()
+	time.Sleep(20 * time.Millisecond) // well past maxWait; Join must still be waiting
+	select {
+	case err := <-got:
+		t.Fatalf("Join returned early: %v", err)
+	default:
+	}
+	a.Release()
+	if err := <-got; err != nil {
+		t.Fatalf("Join after release: %v", err)
+	}
+	a.Release()
+}
+
+func TestRetryAfterRoundsUp(t *testing.T) {
+	if got := NewAdmission(1, 0, 250*time.Millisecond, nil).RetryAfter(); got != time.Second {
+		t.Fatalf("250ms maxWait: RetryAfter %v, want 1s", got)
+	}
+	if got := NewAdmission(1, 0, 1500*time.Millisecond, nil).RetryAfter(); got != 2*time.Second {
+		t.Fatalf("1.5s maxWait: RetryAfter %v, want 2s", got)
+	}
+	if got := NewAdmission(1, 0, 2*time.Second, nil).RetryAfter(); got != 2*time.Second {
+		t.Fatalf("2s maxWait: RetryAfter %v, want 2s", got)
+	}
+}

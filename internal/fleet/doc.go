@@ -1,0 +1,12 @@
+// Package fleet holds the building blocks of mapserve's cluster mode:
+// rendezvous hashing for sharding fingerprint ownership over a static peer
+// list (Ring), bounded-queue admission control with deadline-aware load
+// shedding in front of the solve capacity (Admission), and fixed-bucket
+// latency histograms for per-endpoint tail tracking (Histogram).
+//
+// The package is deliberately transport-free: it decides who owns a
+// fingerprint and whether a request may occupy a solve slot, and it counts
+// what happened. Forwarding a request to its owner is the caller's job
+// (service.Solver.Forward, wired to HTTP by cmd/mapserve), which keeps
+// every piece unit-testable without a network.
+package fleet

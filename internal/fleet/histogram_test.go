@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50MS != 0 || s.P99MS != 0 || s.MaxMS != 0 || s.MeanMS != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 500*time.Nanosecond, 0}, // sub-µs truncates
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{time.Hour, 32},
+		{200 * time.Hour, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// The quantile is an upper bound within one power-of-two bucket of the true
+// value, and never above the recorded maximum.
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond) // 0.1ms .. 100ms
+	}
+	trueP50 := 50 * time.Millisecond
+	got := h.Quantile(0.50)
+	if got < trueP50 || got > 2*trueP50 {
+		t.Errorf("p50 = %v, want in [%v, %v]", got, trueP50, 2*trueP50)
+	}
+	trueP99 := 99 * time.Millisecond
+	got = h.Quantile(0.99)
+	if got < trueP99 || got > 2*trueP99 {
+		t.Errorf("p99 = %v, want in [%v, %v]", got, trueP99, 2*trueP99)
+	}
+	if max := h.Quantile(1.0); max != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want exactly the max 100ms", max)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// All quantiles of a single observation are capped at the max = 3ms.
+	if s.P50MS != 3 || s.P99MS != 3 || s.MaxMS != 3 || s.MeanMS != 3 {
+		t.Fatalf("snapshot of one 3ms observation: %+v", s)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if s := h.Snapshot(); s.Count != 1 || s.MaxMS != 0 {
+		t.Fatalf("negative observation: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*per+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := h.Snapshot().Count; n != goroutines*per {
+		t.Fatalf("count = %d, want %d", n, goroutines*per)
+	}
+}

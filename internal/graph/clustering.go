@@ -14,6 +14,10 @@ type Clustering struct {
 	Of []int
 	// K is the number of clusters na.
 	K int
+
+	// fp memoizes Fingerprint; see the freeze-point contract in
+	// fingerprint.go. It also makes Clustering no-copy (vet: copylocks).
+	fp fpMemo
 }
 
 // NewClustering returns a clustering of n tasks into k clusters with every

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"hash"
+	"sync/atomic"
 )
 
 // Content-addressed canonicalization. A Fingerprint is a stable 256-bit
@@ -20,9 +21,39 @@ import (
 // versioned by its domain tag ("mimdmap/problem/v1", …). Changing what a
 // method hashes requires bumping its tag, so stale persisted fingerprints
 // can never alias fresh ones.
+//
+// Fingerprints memoize: the first call hashes the structure, repeats return
+// the stored digest (the serving hot path fingerprints the same graphs on
+// every request — rehashing an np×np edge matrix per cache hit dominated
+// the warm path before memoization). The memo makes first-Fingerprint a
+// freeze point: graphs must not be structurally mutated after it. That was
+// already the de facto contract — the service layer shares graph pointers
+// between cached responses and their callers — and construction (builders,
+// parsers, generators) happens strictly before any fingerprint use.
 
 // Fingerprint is a 256-bit content address of a graph structure.
 type Fingerprint [32]byte
+
+// fpMemo caches a computed fingerprint on its graph. Concurrent first
+// calls may both compute (deterministically the same digest) and both
+// store; every later call loads the pointer once. The embedded atomic
+// makes the owning graph types no-copy, which is deliberate: a by-value
+// graph copy would alias the underlying slices, exactly the sharing the
+// freeze-point contract above exists to protect.
+type fpMemo struct {
+	p atomic.Pointer[Fingerprint]
+}
+
+// memo returns the cached fingerprint, computing and storing it via f on
+// first use.
+func (m *fpMemo) memo(f func() Fingerprint) Fingerprint {
+	if fp := m.p.Load(); fp != nil {
+		return *fp
+	}
+	fp := f()
+	m.p.Store(&fp)
+	return fp
+}
 
 // String renders the fingerprint as lowercase hex.
 func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
@@ -105,6 +136,10 @@ func (h *Hasher) Sum() Fingerprint {
 // task sizes, and every edge with its weight. Problems that compare Equal
 // fingerprint identically.
 func (p *Problem) Fingerprint() Fingerprint {
+	return p.fp.memo(p.fingerprint)
+}
+
+func (p *Problem) fingerprint() Fingerprint {
 	h := NewHasher("mimdmap/problem/v1")
 	h.Ints(p.Size)
 	edges := 0
@@ -133,6 +168,10 @@ func (p *Problem) Fingerprint() Fingerprint {
 // responses (Diagnostics.Machine), so two machines differing only in label
 // must not share a response-cache entry.
 func (s *System) Fingerprint() Fingerprint {
+	return s.fp.memo(s.fingerprint)
+}
+
+func (s *System) fingerprint() Fingerprint {
 	h := NewHasher("mimdmap/system/v1")
 	h.Str(s.Name)
 	h.Int(s.NumNodes())
@@ -163,6 +202,10 @@ func (s *System) Fingerprint() Fingerprint {
 // relabellings can legitimately map differently. Canonicalise first with
 // Canonical to fingerprint the partition structure alone.
 func (c *Clustering) Fingerprint() Fingerprint {
+	return c.fp.memo(c.fingerprint)
+}
+
+func (c *Clustering) fingerprint() Fingerprint {
 	h := NewHasher("mimdmap/clustering/v1")
 	h.Int(c.K)
 	h.Ints(c.Of)

@@ -33,6 +33,10 @@ type Problem struct {
 	// Edge[i][j] is the communication weight of the precedence edge i→j,
 	// or 0 if there is no edge.
 	Edge [][]int
+
+	// fp memoizes Fingerprint; see the freeze-point contract in
+	// fingerprint.go. It also makes Problem no-copy (vet: copylocks).
+	fp fpMemo
 }
 
 // NewProblem returns a problem graph with n tasks, no edges, and all task

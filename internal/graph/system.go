@@ -13,6 +13,10 @@ type System struct {
 	Name string
 	// Adj[i][j] reports whether processors i and j share a direct link.
 	Adj [][]bool
+
+	// fp memoizes Fingerprint; see the freeze-point contract in
+	// fingerprint.go. It also makes System no-copy (vet: copylocks).
+	fp fpMemo
 }
 
 // NewSystem returns a system graph with n processors and no links.

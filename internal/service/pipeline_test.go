@@ -112,6 +112,64 @@ func registerCountingClusterer(t *testing.T) {
 	countingCalls.Store(0)
 }
 
+// TestLeaderServesCacheFillRacedPastProbe pins the probe→join window: a
+// request can miss the response cache, then win the flight join just after
+// the previous leader published to the cache and retired its call. The new
+// leader must serve the raced fill instead of re-executing (the fleet
+// exactly-once contract), and must complete the call it created so
+// followers that joined it are not left waiting.
+func TestLeaderServesCacheFillRacedPastProbe(t *testing.T) {
+	p := testProblem(t)
+	var s Solver
+	s.init()
+	ctx := context.Background()
+	req := &Request{Problem: p, Topology: "mesh-2x3", Clusterer: "blocks", Seed: 7}
+
+	// The "previous leader": a normal solve that fills the cache.
+	if _, err := s.Solve(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	execs := s.Stats().Executions
+
+	// Replay the raced interleaving: the probe already missed, the join
+	// has been won, and the cache was filled in between.
+	st := &solveState{solver: &s, req: req, began: time.Now()}
+	if err := st.validate(ctx); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if err := st.canonicalize(ctx); err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	call, leader := s.flight.join(st.key)
+	if !leader {
+		t.Fatal("join did not make this request the flight leader")
+	}
+	if err := st.lead(call); err != nil {
+		t.Fatalf("lead: %v", err)
+	}
+	if !st.done || st.resp == nil {
+		t.Fatal("leader did not serve the cache fill raced past its probe")
+	}
+	if st.call != nil {
+		t.Fatal("leader kept its call after serving the raced fill — run would complete it twice")
+	}
+	if !st.resp.Diagnostics.CacheHit {
+		t.Fatal("raced-fill response does not report a cache hit")
+	}
+	select {
+	case <-call.done:
+	default:
+		t.Fatal("leader left its call incomplete — followers would hang")
+	}
+	if call.resp == nil || call.err != nil || call.interrupted {
+		t.Fatalf("followers of the raced call got resp=%v err=%v interrupted=%v, want the cached response",
+			call.resp, call.err, call.interrupted)
+	}
+	if got := s.Stats().Executions; got != execs {
+		t.Fatalf("raced leader re-executed: executions %d, want %d", got, execs)
+	}
+}
+
 // TestSingleflightCoalescesConcurrentIdenticalRequests is the dedup gate:
 // N concurrent identical requests must execute the underlying solve
 // exactly once, and every response must carry identical deterministic
@@ -298,7 +356,7 @@ func TestStatsSnapshot(t *testing.T) {
 // TestPipelineStageNames pins the published stage sequence — the staged
 // shape is part of the layer's contract, and docs reference it by name.
 func TestPipelineStageNames(t *testing.T) {
-	want := []string{"validate", "canonicalize", "cache-lookup", "plan", "execute", "publish"}
+	want := []string{"validate", "canonicalize", "cache-lookup", "forward", "admit", "plan", "execute", "publish"}
 	stages := solveStages
 	if len(stages) != len(want) {
 		t.Fatalf("pipeline has %d stages, want %d", len(stages), len(want))

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mimdmap/internal/core"
+	"mimdmap/internal/fleet"
 	"mimdmap/internal/graph"
 	"mimdmap/internal/parallel"
 	"mimdmap/internal/paths"
@@ -69,6 +70,21 @@ type Request struct {
 	// replay prior work, not the ones that share read-only tables.
 	NoCache bool
 
+	// LocalOnly answers the request on this solver even when a fleet
+	// Forward hook is installed. The serving layer sets it on requests that
+	// already crossed the forwarding hop, so ownership disagreements (a
+	// mid-rollout peer-list skew) degrade to an extra local solve instead
+	// of a forwarding loop. Excluded from the fingerprint: the response is
+	// byte-identical either way.
+	LocalOnly bool
+
+	// NoShed makes admission control wait for a solve slot instead of
+	// shedding under overload. Background work that was already admitted
+	// once — an async job holding a store slot — sets it; interactive
+	// traffic leaves it false and may be refused with fleet.ErrSaturated.
+	// Excluded from the fingerprint.
+	NoShed bool
+
 	// Options tunes the mapper exactly as in the classic API. A nil-Rand
 	// options struct has its Rand and Seed derived from the request Seed,
 	// so one knob reproduces the whole run.
@@ -127,6 +143,14 @@ type Diagnostics struct {
 	// time ("" for plain refiners, or when no arm improved the initial
 	// assignment).
 	WinningArm string
+	// Forwarded reports that the response was filled by the fleet peer
+	// owning the request's fingerprint (the Forward hook) rather than
+	// solved or cached here. Replaying a forwarded fill from the local
+	// cache later sets CacheHit alongside it; the deterministic payload is
+	// byte-identical wherever it was produced.
+	Forwarded bool
+	// Owner is the peer that owned (and answered) a forwarded request.
+	Owner string
 }
 
 // Response is the outcome of solving one Request. Responses handed out by
@@ -229,6 +253,19 @@ type Solver struct {
 	// score is graph.Delta.Similarity: 1 means structurally identical.
 	// Negative disables the floor entirely (always warm-start).
 	MinWarmSimilarity float64
+	// Admission, when set, gates the execute stage: a request that misses
+	// every replay layer (cache, coalescing, forwarding) must take an
+	// admission slot before planning, and may be shed with
+	// fleet.ErrSaturated under overload (unless it sets Request.NoShed).
+	// Replayed responses never consume slots — admission bounds the
+	// expensive work, not the cheap one.
+	Admission *fleet.Admission
+	// Forward, when set, is consulted for every cacheable request that
+	// misses the local cache: fleet mode forwards the fill to the peer
+	// owning the fingerprint so each fingerprint is solved at most once
+	// fleet-wide. See ForwardFunc for the contract. Must be set before the
+	// first Solve.
+	Forward ForwardFunc
 
 	initOnce sync.Once
 	results  *lruCache[*Response]
@@ -236,12 +273,34 @@ type Solver struct {
 	systems  *lruCache[*graph.System]
 	flight   flightGroup
 
-	solves      atomic.Uint64
-	coalesced   atomic.Uint64
-	uncacheable atomic.Uint64
-	remaps      atomic.Uint64
-	warmStarts  atomic.Uint64
+	solves        atomic.Uint64
+	coalesced     atomic.Uint64
+	uncacheable   atomic.Uint64
+	remaps        atomic.Uint64
+	warmStarts    atomic.Uint64
+	executions    atomic.Uint64
+	forwarded     atomic.Uint64
+	forwardErrors atomic.Uint64
 }
+
+// ForwardFunc lets a serving layer route a cache fill to the fleet peer
+// owning the request's fingerprint. It is called by the forward stage for
+// every cacheable request that missed the local cache (after this solver
+// became the singleflight leader, so one replica makes at most one hop per
+// fingerprint at a time) and returns:
+//
+//   - (resp, owner, nil): the owning peer produced resp. The pipeline
+//     replicates it into the local response cache and answers with
+//     Diagnostics.Forwarded set.
+//   - (nil, "", nil): declined — this solver owns the key, or the request
+//     cannot travel the wire. The pipeline solves locally.
+//   - (nil, "", err): the hop failed (peer down, peer shedding). The
+//     pipeline counts a forward error and falls back to solving locally,
+//     so a mid-restart fleet degrades to independent replicas instead of
+//     failing requests.
+//
+// The hook must not mutate req; a copy with LocalOnly set is what travels.
+type ForwardFunc func(ctx context.Context, key string, req *Request) (*Response, string, error)
 
 // NewSolver returns a Solver with the given batch fan-out bound
 // (0 = one worker per CPU).
@@ -312,6 +371,14 @@ type Stats struct {
 	// similarity below the threshold).
 	Remaps     uint64 `json:"remaps"`
 	WarmStarts uint64 `json:"warm_starts"`
+
+	// Executions counts requests that ran the full plan/execute pipeline
+	// locally — the "local" of fleet mode's local/forwarded/shed split.
+	// Forwarded counts cache fills answered by the owning peer, and
+	// ForwardErrors the hops that failed and fell back to local execution.
+	Executions    uint64 `json:"executions"`
+	Forwarded     uint64 `json:"forwarded"`
+	ForwardErrors uint64 `json:"forward_errors"`
 }
 
 // Stats snapshots the solver's counters. Per-cache sections are
@@ -326,6 +393,9 @@ func (s *Solver) Stats() Stats {
 	st.Uncacheable = s.uncacheable.Load()
 	st.Remaps = s.remaps.Load()
 	st.WarmStarts = s.warmStarts.Load()
+	st.Executions = s.executions.Load()
+	st.Forwarded = s.forwarded.Load()
+	st.ForwardErrors = s.forwardErrors.Load()
 	st.ResultHits, st.ResultMisses, st.ResultEvictions, st.CachedResults = s.results.Snapshot()
 	st.DistHits, st.DistMisses, st.DistEvictions, st.CachedDists = s.dists.Snapshot()
 	st.CachedSystems = s.systems.Len()
@@ -342,6 +412,21 @@ func (s *Solver) Solve(ctx context.Context, req *Request) (*Response, error) {
 	s.solves.Add(1)
 	st := &solveState{solver: s, req: req, began: s.now()}
 	return st.run(ctx)
+}
+
+// Fingerprint returns the canonical fingerprint Solve would key the
+// response cache with for req — the ownership key of fleet mode — or ""
+// when the request is uncacheable (NoCache, or options carrying a live
+// generator or refiner instance). It validates the request's declarative
+// shape exactly like Solve, so serving layers can route before solving.
+func (s *Solver) Fingerprint(req *Request) (string, error) {
+	if verr := validate(req); verr != nil {
+		return "", verr
+	}
+	if req.NoCache || req.Options.Rand != nil || req.Options.Refiner != nil {
+		return "", nil
+	}
+	return canonicalKey(req, effectiveSeed(req)), nil
 }
 
 // SolveBatch solves every request, fanning out over at most Workers
